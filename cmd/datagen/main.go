@@ -1,0 +1,96 @@
+// Command datagen emits the calibrated synthetic datasets as CSV files:
+// one file with the visible relation and one with the hidden ground-truth
+// labels (the UDF oracle), so external tools — and cmd/predsql — can
+// replay the paper's protocol.
+//
+// Usage:
+//
+//	datagen -dataset lc -out ./data            # writes lc.csv + lc_labels.csv
+//	datagen -dataset all -scale 0.1 -seed 7 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "all", "dataset name (lc, prosper, census, marketing) or 'all'")
+		scale = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	specs := dataset.All()
+	if *name != "all" {
+		spec, err := dataset.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		specs = []dataset.Spec{spec}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	for _, spec := range specs {
+		if *scale != 1 {
+			spec = spec.Scaled(*scale)
+		}
+		d, err := dataset.Generate(spec, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		dataPath := filepath.Join(*out, spec.Name+".csv")
+		if err := writeTable(d.Table, dataPath); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		labelsPath := filepath.Join(*out, spec.Name+"_labels.csv")
+		if err := writeLabels(d, labelsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d rows → %s (labels: %s, selectivity %.3f)\n",
+			spec.Name, d.Table.NumRows(), dataPath, labelsPath, d.OverallSelectivity())
+	}
+}
+
+func writeTable(tbl *table.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return table.WriteCSV(tbl, f)
+}
+
+func writeLabels(d *dataset.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "id,label"); err != nil {
+		return err
+	}
+	for id, label := range d.Labels {
+		v := 0
+		if label {
+			v = 1
+		}
+		if _, err := fmt.Fprintf(f, "%d,%d\n", id, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/table"
+)
+
+func TestWriteTableAndLabels(t *testing.T) {
+	spec := dataset.Prosper.Scaled(0.01)
+	d, err := dataset.Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "p.csv")
+	if err := writeTable(d.Table, dataPath); err != nil {
+		t.Fatal(err)
+	}
+	labelsPath := filepath.Join(dir, "p_labels.csv")
+	if err := writeLabels(d, labelsPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// The data CSV round-trips through the table reader.
+	f, err := os.Open(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tbl, err := table.ReadCSV("p", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != d.Table.NumRows() {
+		t.Fatalf("rows %d want %d", tbl.NumRows(), d.Table.NumRows())
+	}
+
+	// The labels file has one line per row plus the header, and the label
+	// counts match the dataset.
+	raw, err := os.ReadFile(labelsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != d.Table.NumRows()+1 {
+		t.Fatalf("labels lines %d want %d", len(lines), d.Table.NumRows()+1)
+	}
+	ones := 0
+	for _, line := range lines[1:] {
+		if strings.HasSuffix(line, ",1") {
+			ones++
+		}
+	}
+	if ones != d.TotalCorrect() {
+		t.Fatalf("labels file has %d ones, dataset has %d correct", ones, d.TotalCorrect())
+	}
+}
+
+func TestWriteTableBadPath(t *testing.T) {
+	spec := dataset.Prosper.Scaled(0.01)
+	d, err := dataset.Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTable(d.Table, "/no/such/dir/x.csv"); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if err := writeLabels(d, "/no/such/dir/x.csv"); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}

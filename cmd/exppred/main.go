@@ -1,0 +1,77 @@
+// Command exppred reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	exppred -list
+//	exppred -exp fig1a
+//	exppred -exp all -scale 0.25 -iters 10 -seed 7
+//
+// Every experiment prints the same rows/series the paper reports (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results). -scale shrinks the synthetic datasets proportionally while
+// preserving their calibrated statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id, comma-separated list, or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		scale = flag.Float64("scale", 1.0, "dataset scale factor (1 = paper sizes)")
+		iters = flag.Int("iters", 0, "override per-experiment iteration counts")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		alpha = flag.Float64("alpha", 0.8, "default precision bound")
+		beta  = flag.Float64("beta", 0.8, "default recall bound")
+		rho   = flag.Float64("rho", 0.8, "default satisfaction probability")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Lookup(id)
+			fmt.Printf("%-16s %s\n", id, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "exppred: specify -exp <id>|all or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	runner := experiments.New(experiments.Config{
+		Seed:       *seed,
+		Scale:      *scale,
+		Iterations: *iters,
+		Alpha:      *alpha,
+		Beta:       *beta,
+		Rho:        *rho,
+		Out:        os.Stdout,
+	})
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if _, err := runner.Run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "exppred: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,134 @@
+// Command predsql runs the library's SQL dialect against CSV files. The
+// expensive UDF is simulated from a hidden-labels CSV (id,label), matching
+// the paper's evaluation protocol and the files cmd/datagen writes.
+//
+// Usage:
+//
+//	predsql -table loans=lc.csv -truth lc_labels.csv -udf good_credit \
+//	        -sql "SELECT * FROM loans WHERE good_credit(id) = 1 \
+//	              WITH PRECISION 0.8 RECALL 0.8 PROBABILITY 0.8"
+//
+// The command prints the execution statistics (UDF calls, cost, chosen
+// correlated column) and the first rows of the result.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		tables multiFlag
+		truth  = flag.String("truth", "", "labels CSV (id,label) backing the simulated UDF")
+		udf    = flag.String("udf", "good_credit", "UDF name to register")
+		sqlStr = flag.String("sql", "", "query to run")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		limit  = flag.Int("limit", 10, "max rows to print")
+	)
+	flag.Var(&tables, "table", "name=path CSV table (repeatable)")
+	flag.Parse()
+
+	if len(tables) == 0 || *truth == "" || *sqlStr == "" {
+		fmt.Fprintln(os.Stderr, "predsql: -table, -truth and -sql are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db := predeval.Open(*seed)
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -table %q, want name=path", spec))
+		}
+		if err := db.LoadCSVFile(name, path); err != nil {
+			fatal(err)
+		}
+	}
+
+	labels, err := loadLabels(*truth)
+	if err != nil {
+		fatal(err)
+	}
+	calls := 0
+	err = db.RegisterUDF(*udf, func(v any) bool {
+		calls++
+		id, ok := v.(int64)
+		if !ok {
+			return false
+		}
+		return labels[id]
+	}, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	rows, err := db.Query(*sqlStr)
+	if err != nil {
+		fatal(err)
+	}
+	st := rows.Stats()
+	fmt.Printf("rows: %d\nUDF calls: %d\nretrievals: %d\ncost: %.0f\n",
+		rows.Len(), st.Evaluations, st.Retrievals, st.Cost)
+	if st.ChosenColumn != "" {
+		fmt.Printf("correlated column: %s\n", st.ChosenColumn)
+	}
+	if st.Exact {
+		fmt.Println("mode: exact")
+	} else {
+		fmt.Println("mode: approximate")
+	}
+	fmt.Println(strings.Join(rows.Columns(), ","))
+	for i := 0; i < rows.Len() && i < *limit; i++ {
+		fmt.Println(strings.Join(rows.Row(i), ","))
+	}
+	if rows.Len() > *limit {
+		fmt.Printf("... (%d more rows)\n", rows.Len()-*limit)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func loadLabels(path string) (map[int64]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("predsql: empty labels file %s", path)
+	}
+	labels := make(map[int64]bool, len(records)-1)
+	for _, rec := range records[1:] {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("predsql: labels file needs id,label columns")
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		labels[id] = rec[1] == "1" || strings.EqualFold(rec[1], "true")
+	}
+	return labels, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predsql:", err)
+	os.Exit(1)
+}

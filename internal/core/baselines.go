@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Experiment baselines (Section 6.2). Naive needs nothing extra; the two
+// machine-learning baselines take a semi-supervised classifier through the
+// SemiSupervised interface so the core package stays independent of the ml
+// package (which provides the implementation used in the experiments).
+
+// RunNaive implements the Naive baseline: retrieve a uniformly random β
+// fraction of all tuples, evaluate every one of them, and return the
+// matching tuples. It satisfies the recall constraint in expectation only,
+// and precision exactly (everything returned is verified).
+func RunNaive(in Instance, rng *stats.RNG) (RunResult, error) {
+	if err := in.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if rng == nil {
+		return RunResult{}, fmt.Errorf("core: rng is required")
+	}
+	all := make([]int, 0, in.TotalRows())
+	for _, g := range in.Groups {
+		all = append(all, g.Rows...)
+	}
+	k := int(math.Ceil(in.Cons.Beta * float64(len(all))))
+	idx := rng.SampleWithoutReplacement(len(all), k)
+	var output []int
+	for _, i := range idx {
+		if in.UDF.Eval(all[i]) {
+			output = append(output, all[i])
+		}
+	}
+	return RunResult{
+		Output:           output,
+		Retrieved:        k,
+		Evaluated:        k,
+		TotalEvaluations: k,
+		TotalRetrievals:  k,
+		TotalCost:        float64(k) * (in.Cost.Retrieve + in.Cost.Evaluate),
+	}, nil
+}
+
+// SemiSupervised is a semi-supervised classifier: given the feature matrix
+// for every row, the indices of labeled rows and their labels, it returns
+// the estimated probability that each row satisfies the predicate.
+// Implementations typically self-train: fit on the labeled rows, pseudo-
+// label confident predictions, refit.
+type SemiSupervised interface {
+	FitPredict(features [][]float64, labeledIdx []int, labels []bool) []float64
+}
+
+// MLBaselineOptions tunes the Learning/Multiple baselines.
+type MLBaselineOptions struct {
+	// InitialFraction of tuples to label first (default 0.02).
+	InitialFraction float64
+	// GrowthFactor enlarges the labeled set each round (default 1.5).
+	GrowthFactor float64
+	// MaxFraction caps the labeled set (default 1.0: may label everything).
+	MaxFraction float64
+	// Threshold is the probability cutoff for predicting true (default 0.5).
+	Threshold float64
+	// Imputations is the number of imputed datasets for RunMultiple
+	// (default 5).
+	Imputations int
+}
+
+func (o *MLBaselineOptions) fill() {
+	if o.InitialFraction <= 0 {
+		o.InitialFraction = 0.02
+	}
+	if o.GrowthFactor <= 1 {
+		o.GrowthFactor = 1.5
+	}
+	if o.MaxFraction <= 0 || o.MaxFraction > 1 {
+		o.MaxFraction = 1
+	}
+	if o.Threshold <= 0 || o.Threshold >= 1 {
+		o.Threshold = 0.5
+	}
+	if o.Imputations <= 0 {
+		o.Imputations = 5
+	}
+}
+
+// RunLearning implements the Learning baseline: evaluate a batch of tuples,
+// train the semi-supervised classifier, and return evaluated-true plus
+// predicted-true tuples. The batch grows until the precision and recall
+// constraints are met — checked against ground truth, which (as the paper
+// notes) gives this baseline an unfair advantage since real deployments
+// cannot know when to stop.
+func RunLearning(in Instance, features [][]float64, clf SemiSupervised, truth func(row int) bool, rng *stats.RNG, opts MLBaselineOptions) (RunResult, error) {
+	return runMLBaseline(in, features, clf, truth, rng, opts, false)
+}
+
+// RunMultiple implements the Multiple (multiple imputations) baseline:
+// unlabeled tuples receive labels drawn from the classifier's class
+// probabilities; the labeled-set size grows until the constraints hold on
+// average across the imputed datasets.
+func RunMultiple(in Instance, features [][]float64, clf SemiSupervised, truth func(row int) bool, rng *stats.RNG, opts MLBaselineOptions) (RunResult, error) {
+	return runMLBaseline(in, features, clf, truth, rng, opts, true)
+}
+
+func runMLBaseline(in Instance, features [][]float64, clf SemiSupervised, truth func(row int) bool, rng *stats.RNG, opts MLBaselineOptions, multiple bool) (RunResult, error) {
+	if err := in.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if rng == nil || clf == nil || truth == nil {
+		return RunResult{}, fmt.Errorf("core: rng, classifier and truth are required")
+	}
+	opts.fill()
+
+	all := make([]int, 0, in.TotalRows())
+	for _, g := range in.Groups {
+		all = append(all, g.Rows...)
+	}
+	n := len(all)
+	if n == 0 {
+		return RunResult{}, fmt.Errorf("core: empty instance")
+	}
+	for _, row := range all {
+		if row >= len(features) {
+			return RunResult{}, fmt.Errorf("core: row %d has no feature vector (have %d)", row, len(features))
+		}
+	}
+	totalCorrect := 0
+	for _, row := range all {
+		if truth(row) {
+			totalCorrect++
+		}
+	}
+
+	// A fixed random order defines the growing labeled prefix, so each
+	// round reuses all previous evaluations.
+	perm := rng.Perm(n)
+	labeled := 0
+	var labeledIdx []int
+	var labels []bool
+	meter := NewMeter(in.UDF)
+
+	target := int(math.Ceil(opts.InitialFraction * float64(n)))
+	for {
+		if target > int(opts.MaxFraction*float64(n)) {
+			target = int(opts.MaxFraction * float64(n))
+		}
+		if target <= labeled {
+			target = labeled + 1
+		}
+		if target > n {
+			target = n
+		}
+		for labeled < target {
+			row := all[perm[labeled]]
+			v := meter.Eval(row)
+			labeledIdx = append(labeledIdx, perm[labeled])
+			labels = append(labels, v)
+			labeled++
+		}
+
+		feats := make([][]float64, n)
+		for i, row := range all {
+			feats[i] = features[row]
+		}
+		probs := clf.FitPredict(feats, labeledIdx, labels)
+
+		isLabeled := make([]bool, n)
+		for _, i := range labeledIdx {
+			isLabeled[i] = true
+		}
+
+		build := func(impute bool) []int {
+			var out []int
+			for i, row := range all {
+				switch {
+				case isLabeled[i]:
+					if v, _ := meter.Known(row); v {
+						out = append(out, row)
+					}
+				case impute:
+					if rng.Bernoulli(probs[i]) {
+						out = append(out, row)
+					}
+				default:
+					if probs[i] >= opts.Threshold {
+						out = append(out, row)
+					}
+				}
+			}
+			return out
+		}
+
+		var output []int
+		satisfied := false
+		if multiple {
+			var sumP, sumR float64
+			for j := 0; j < opts.Imputations; j++ {
+				out := build(true)
+				m := ComputeMetrics(out, truth, totalCorrect)
+				sumP += m.Precision
+				sumR += m.Recall
+				output = out
+			}
+			k := float64(opts.Imputations)
+			satisfied = sumP/k >= in.Cons.Alpha && sumR/k >= in.Cons.Beta
+		} else {
+			output = build(false)
+			m := ComputeMetrics(output, truth, totalCorrect)
+			pOK, rOK := m.Satisfies(in.Cons)
+			satisfied = pOK && rOK
+		}
+
+		if satisfied || labeled >= n || labeled >= int(opts.MaxFraction*float64(n)) {
+			retrievedExtra := 0
+			for _, row := range output {
+				if _, known := meter.Known(row); !known {
+					retrievedExtra++
+				}
+			}
+			evals := meter.Calls()
+			return RunResult{
+				Output:           output,
+				Retrieved:        retrievedExtra,
+				Evaluated:        0,
+				SampledTuples:    evals,
+				TotalEvaluations: evals,
+				TotalRetrievals:  evals + retrievedExtra,
+				TotalCost: float64(evals)*(in.Cost.Retrieve+in.Cost.Evaluate) +
+					float64(retrievedExtra)*in.Cost.Retrieve,
+			}, nil
+		}
+		target = int(math.Ceil(float64(target) * opts.GrowthFactor))
+	}
+}

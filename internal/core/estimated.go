@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/solver"
+	"repro/internal/stats"
+)
+
+// This file implements Section 3.3 (estimated selectivities) and
+// Section 4.2 (the sampling-aware variant). The optimizer only has a
+// selectivity estimate per group — a random variable Sₐ with mean sₐ and
+// variance vₐ — so the Hoeffding margins of Section 3.2 are replaced by
+// Chebyshev bounds with deviation terms that depend on the decision
+// variables themselves, making the problem convex instead of linear:
+//
+//	minimize  Σ wₐ (o_r·Rₐ + o_e·Eₐ)
+//	s.t.      Gp(R,E) ≥ X(R,E)   and   Gr(R) ≥ Y(R)
+//
+// where Gp/Gr are the expected precision/recall LHS and X/Y are e_ρ times
+// an upper bound on the LHS standard deviation. Two bounds are provided:
+//
+//   - Unknown correlations (Convex Prog. 3.10): Dev(Σ) ≤ Σ Dev, giving the
+//     separable bound e_ρ·Σ (√vₐ·wₐ·(Rₐ−αEₐ) + 0.5·√wₐ).
+//   - Independent groups (Convex Prog. 3.11): variances add, giving
+//     e_ρ·sqrt(Σ wₐ²vₐ(Rₐ−αEₐ)² + 0.25·wₐ).
+//
+// The sampling variant (Convex Prog. 4.1) additionally returns the already
+// evaluated F⁺ₐ tuples and plans only over the remaining wₐ = tₐ−Fₐ.
+//
+// Solution method: the first two constraints match Linear-Prog. 3.4 with
+// thresholds (X, Y), so we iterate BIGREEDY-LP against relinearized
+// thresholds (a fixed-point scheme) — every iterate is verified against the
+// true convex constraint and the cheapest verified strategy wins. A
+// projected-gradient solver over the exact convex program is available as
+// an independent cross-check (PlanEstimatedGradient).
+
+// CorrelationModel selects which deviation bound the planner uses.
+type CorrelationModel int
+
+const (
+	// IndependentGroups assumes the selectivity estimates of different
+	// groups are independent (true for per-group sampling); variances add.
+	IndependentGroups CorrelationModel = iota
+	// UnknownCorrelations assumes nothing: standard deviations add. More
+	// conservative, never cheaper than IndependentGroups.
+	UnknownCorrelations
+)
+
+func (m CorrelationModel) String() string {
+	if m == UnknownCorrelations {
+		return "unknown-correlations"
+	}
+	return "independent-groups"
+}
+
+// estProblem carries the precomputed constants of one estimated-selectivity
+// planning problem.
+type estProblem struct {
+	groups []GroupInfo
+	cons   Constraints
+	cost   CostModel
+	model  CorrelationModel
+	erho   float64
+
+	// Derived: per-group remaining sizes and constants.
+	w          []float64 // wₐ = tₐ − Fₐ
+	sumPos     float64   // Σ F⁺ₐ
+	sumWS      float64   // Σ wₐ·sₐ
+	precConst  float64   // Σ F⁺ₐ·(1−α): constant part of the precision LHS
+	recallRHS  float64   // β·Σ(F⁺ₐ + wₐsₐ) − Σ F⁺ₐ: constant part of recall RHS
+	sqrtVTimes []float64 // √vₐ·wₐ (unknown-correlations coefficients)
+	v2         []float64 // wₐ²·vₐ (independent-groups coefficients)
+}
+
+func newEstProblem(groups []GroupInfo, cons Constraints, cost CostModel, model CorrelationModel) *estProblem {
+	p := &estProblem{
+		groups: groups, cons: cons, cost: cost, model: model,
+		erho:       stats.ChebyshevMultiplier(cons.Rho),
+		w:          make([]float64, len(groups)),
+		sqrtVTimes: make([]float64, len(groups)),
+		v2:         make([]float64, len(groups)),
+	}
+	for i, g := range groups {
+		w := float64(g.Remaining())
+		p.w[i] = w
+		p.sumPos += float64(g.SampledPositive)
+		p.sumWS += w * g.Selectivity
+		p.sqrtVTimes[i] = math.Sqrt(g.Variance) * w
+		p.v2[i] = w * w * g.Variance
+	}
+	p.precConst = p.sumPos * (1 - cons.Alpha)
+	p.recallRHS = cons.Beta*(p.sumPos+p.sumWS) - p.sumPos
+	return p
+}
+
+// devPrecision returns the deviation bound X(R,E) for the precision
+// constraint.
+func (p *estProblem) devPrecision(s Strategy) float64 {
+	switch p.model {
+	case UnknownCorrelations:
+		total := 0.0
+		for i := range p.groups {
+			total += p.sqrtVTimes[i]*(s.R[i]-p.cons.Alpha*s.E[i]) + 0.5*math.Sqrt(p.w[i])
+		}
+		return p.erho * total
+	default:
+		total := 0.0
+		for i := range p.groups {
+			d := s.R[i] - p.cons.Alpha*s.E[i]
+			total += p.v2[i]*d*d + 0.25*p.w[i]
+		}
+		return p.erho * math.Sqrt(total)
+	}
+}
+
+// devRecall returns the deviation bound Y(R) for the recall constraint.
+func (p *estProblem) devRecall(s Strategy) float64 {
+	switch p.model {
+	case UnknownCorrelations:
+		total := 0.0
+		for i := range p.groups {
+			total += p.sqrtVTimes[i]*math.Abs(s.R[i]-p.cons.Beta) + 0.5*math.Sqrt(p.w[i])
+		}
+		return p.erho * total
+	default:
+		total := 0.0
+		for i := range p.groups {
+			d := s.R[i] - p.cons.Beta
+			total += p.v2[i]*d*d + 0.25*p.w[i]
+		}
+		return p.erho * math.Sqrt(total)
+	}
+}
+
+// devPrecisionMax / devRecallMax bound the deviations over the whole
+// feasible box, providing safe starting thresholds.
+func (p *estProblem) devPrecisionMax() float64 {
+	s := FullEvaluation(len(p.groups))
+	for i := range s.E {
+		s.E[i] = 0 // (R−αE) is largest at R=1, E=0
+	}
+	return p.devPrecision(s)
+}
+
+func (p *estProblem) devRecallMax() float64 {
+	s := NewStrategy(len(p.groups))
+	worst := p.cons.Beta
+	if 1-p.cons.Beta > worst {
+		worst = 1 - p.cons.Beta
+	}
+	for i := range s.R {
+		s.R[i] = p.cons.Beta + worst // |R−β| = worst (may exceed 1; fine for a bound)
+	}
+	return p.devRecall(s)
+}
+
+// lhs returns the expected precision and recall LHS (including sampled
+// constants) for the strategy.
+func (p *estProblem) lhs(s Strategy) (prec, recall float64) {
+	gp, gr := perfectSelectivityLHS(p.groups, s, p.cons.Alpha, nil)
+	return gp + p.precConst, gr - p.recallRHS
+}
+
+// feasible verifies the strategy against the exact convex constraints,
+// honoring deterministic caps.
+func (p *estProblem) feasible(s Strategy) bool {
+	prec, recall := p.lhs(s)
+	recallOK := s.RecallCapped || almostGE(recall, p.devRecall(s))
+	precOK := s.PrecisionCapped || almostGE(prec, p.devPrecision(s))
+	return recallOK && precOK
+}
+
+// solveFixedPoint iterates BIGREEDY-LP against relinearized thresholds.
+func (p *estProblem) solveFixedPoint() Strategy {
+	x := p.devPrecisionMax()
+	y := p.devRecallMax()
+	var best Strategy
+	bestCost := math.Inf(1)
+	const maxIter = 40
+	for iter := 0; iter < maxIter; iter++ {
+		// Thresholds for the greedy LP: precision LHS must reach x minus the
+		// sampled constant; recall LHS must reach y plus the recall RHS.
+		recallTarget := y + p.recallRHS
+		precTarget := x - p.precConst
+		s := biGreedy(p.groups, p.cons.Alpha, recallTarget, precTarget, nil)
+		if p.feasible(s) {
+			if c := s.ExpectedCost(p.groups, p.cost); c < bestCost {
+				bestCost = c
+				best = s.Clone()
+			}
+		}
+		nx, ny := p.devPrecision(s), p.devRecall(s)
+		if math.Abs(nx-x)+math.Abs(ny-y) < 1e-9*(1+x+y) {
+			break
+		}
+		// Damped update to avoid oscillation between under- and
+		// over-tightened thresholds.
+		x = 0.5*x + 0.5*nx
+		y = 0.5*y + 0.5*ny
+	}
+	if math.IsInf(bestCost, 1) {
+		// No iterate verified (extreme variances): fall back to the exact
+		// query, which satisfies everything deterministically.
+		return FullEvaluation(len(p.groups))
+	}
+	return best
+}
+
+// PlanEstimated solves the estimated-selectivity problem (Problem 3) under
+// the chosen correlation model, returning a strategy whose precision and
+// recall constraints each hold with probability at least ρ.
+func PlanEstimated(groups []GroupInfo, cons Constraints, cost CostModel, model CorrelationModel) (Strategy, error) {
+	if err := validatePlanInput(groups, cons, cost); err != nil {
+		return Strategy{}, err
+	}
+	p := newEstProblem(groups, cons, cost, model)
+	return p.solveFixedPoint(), nil
+}
+
+// PlanWithSamples solves Convex Prog. 4.1: the groups carry sampling
+// outcomes (Fₐ, F⁺ₐ) and Beta-posterior estimates; sampled matching tuples
+// are part of the output for free, and the plan covers only the remaining
+// tuples. This is the planning step of the Intel-Sample algorithm.
+func PlanWithSamples(groups []GroupInfo, cons Constraints, cost CostModel) (Strategy, error) {
+	return PlanEstimated(groups, cons, cost, IndependentGroups)
+}
+
+// CheckEstimatedFeasible verifies a strategy against the exact convex
+// constraints of the estimated-selectivity problem.
+func CheckEstimatedFeasible(groups []GroupInfo, s Strategy, cons Constraints, model CorrelationModel) bool {
+	p := newEstProblem(groups, cons, CostModel{}, model)
+	return p.feasible(s)
+}
+
+// PlanEstimatedGradient solves the same convex program with the
+// projected-gradient solver instead of the fixed-point scheme. It exists
+// as an independent cross-check and for the solver ablation bench; the two
+// planners should land within a few percent of each other.
+func PlanEstimatedGradient(groups []GroupInfo, cons Constraints, cost CostModel, model CorrelationModel) (Strategy, error) {
+	if err := validatePlanInput(groups, cons, cost); err != nil {
+		return Strategy{}, err
+	}
+	p := newEstProblem(groups, cons, cost, model)
+	m := len(groups)
+
+	toStrategy := func(x []float64) Strategy {
+		s := NewStrategy(m)
+		for i := 0; i < m; i++ {
+			s.R[i], s.E[i] = x[2*i], x[2*i+1]
+		}
+		return s
+	}
+
+	scale := float64(TotalSize(groups))
+	if scale < 1 {
+		scale = 1
+	}
+	prob := solver.Problem{
+		Dim: 2 * m,
+		Obj: func(x []float64) float64 {
+			total := 0.0
+			for i := 0; i < m; i++ {
+				total += p.w[i] * (cost.Retrieve*x[2*i] + cost.Evaluate*x[2*i+1])
+			}
+			return total / scale
+		},
+		ObjGrad: func(x, out []float64) {
+			for i := 0; i < m; i++ {
+				out[2*i] = p.w[i] * cost.Retrieve / scale
+				out[2*i+1] = p.w[i] * cost.Evaluate / scale
+			}
+		},
+		Cons: []solver.Constraint{
+			{F: func(x []float64) float64 {
+				s := toStrategy(x)
+				prec, _ := p.lhs(s)
+				return (p.devPrecision(s) - prec) / scale
+			}},
+			{F: func(x []float64) float64 {
+				s := toStrategy(x)
+				_, recall := p.lhs(s)
+				return (p.devRecall(s) - recall) / scale
+			}},
+		},
+		Project: solver.ProjectStrategy,
+	}
+	// Start from the fixed-point solution so the gradient solver refines
+	// rather than searches; fall back to full evaluation on solver failure.
+	seed := p.solveFixedPoint()
+	x0 := make([]float64, 2*m)
+	for i := 0; i < m; i++ {
+		x0[2*i], x0[2*i+1] = seed.R[i], seed.E[i]
+	}
+	res, err := solver.Solve(prob, x0, solver.Options{Tol: 1e-7})
+	if err != nil {
+		return seed, nil
+	}
+	s := toStrategy(res.X)
+	s.clamp()
+	if !p.feasible(s) {
+		return seed, nil
+	}
+	// Keep whichever is cheaper; both are verified feasible.
+	if s.ExpectedCost(groups, cost) <= seed.ExpectedCost(groups, cost) {
+		return s, nil
+	}
+	return seed, nil
+}

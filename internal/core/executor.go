@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// This file implements query execution (the "Execution" step of
+// Sections 3.2/3.3): given a strategy, flip a coin per tuple to decide
+// retrieval, then another to decide evaluation; retrieved-but-unevaluated
+// tuples are returned as-is, evaluated tuples are returned only when the
+// UDF accepts them. Tuples already evaluated during sampling are returned
+// (or dropped) according to their known value at no extra cost.
+
+// SampleOutcome records the sampling phase's work for one group.
+type SampleOutcome struct {
+	// Results maps sampled row id → UDF outcome.
+	Results map[int]bool
+	// Positives counts true outcomes (F⁺ₐ).
+	Positives int
+}
+
+// ExecResult is the outcome of executing a strategy.
+type ExecResult struct {
+	// Output holds the returned row ids (the approximate query answer).
+	Output []int
+	// Retrieved counts tuples fetched during execution (excluding sampling).
+	Retrieved int
+	// Evaluated counts UDF calls made during execution (excluding sampling).
+	Evaluated int
+	// Cost is the execution cost o_r·Retrieved + o_e·Evaluated.
+	Cost float64
+}
+
+// Execute runs the strategy over the groups. samples may be nil (no
+// sampling phase) or hold one entry per group; sampled rows are not
+// re-retrieved or re-evaluated — their recorded outcome decides membership.
+// The RNG drives the per-tuple coins.
+func Execute(groups []Group, s Strategy, samples []SampleOutcome, udf UDF, cost CostModel, rng *stats.RNG) (ExecResult, error) {
+	if len(groups) != s.Len() {
+		return ExecResult{}, fmt.Errorf("core: %d groups but strategy covers %d", len(groups), s.Len())
+	}
+	if samples != nil && len(samples) != len(groups) {
+		return ExecResult{}, fmt.Errorf("core: %d groups but %d sample outcomes", len(groups), len(samples))
+	}
+	if err := s.Validate(); err != nil {
+		return ExecResult{}, err
+	}
+	var res ExecResult
+	for i, g := range groups {
+		ra, ea := s.R[i], s.E[i]
+		var sampled map[int]bool
+		if samples != nil {
+			sampled = samples[i].Results
+		}
+		condEval := 0.0
+		if ra > 0 {
+			condEval = ea / ra
+		}
+		for _, row := range g.Rows {
+			if v, ok := sampled[row]; ok {
+				// Already paid for during sampling; include iff correct.
+				if v {
+					res.Output = append(res.Output, row)
+				}
+				continue
+			}
+			if !rng.Bernoulli(ra) {
+				continue
+			}
+			res.Retrieved++
+			if rng.Bernoulli(condEval) {
+				res.Evaluated++
+				if udf.Eval(row) {
+					res.Output = append(res.Output, row)
+				}
+			} else {
+				res.Output = append(res.Output, row)
+			}
+		}
+	}
+	res.Cost = cost.Retrieve*float64(res.Retrieved) + cost.Evaluate*float64(res.Evaluated)
+	return res, nil
+}
+
+// Metrics holds the information-retrieval quality of an output set.
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	// OutputSize and TotalCorrect echo the denominators for reporting.
+	OutputSize   int
+	TotalCorrect int
+}
+
+// Satisfies reports whether the metrics meet the constraints. An empty
+// output has precision 1 by convention (it contains no incorrect tuples).
+func (m Metrics) Satisfies(cons Constraints) (precisionOK, recallOK bool) {
+	return m.Precision >= cons.Alpha-1e-12, m.Recall >= cons.Beta-1e-12
+}
+
+// ComputeMetrics scores an output set against ground truth. truth must be
+// the oracle predicate (uncharged); totalCorrect is |C|, the number of
+// correct tuples in the whole relation.
+func ComputeMetrics(output []int, truth func(row int) bool, totalCorrect int) Metrics {
+	correct := 0
+	for _, row := range output {
+		if truth(row) {
+			correct++
+		}
+	}
+	m := Metrics{OutputSize: len(output), TotalCorrect: totalCorrect}
+	if len(output) == 0 {
+		m.Precision = 1
+	} else {
+		m.Precision = float64(correct) / float64(len(output))
+	}
+	if totalCorrect == 0 {
+		m.Recall = 1
+	} else {
+		m.Recall = float64(correct) / float64(totalCorrect)
+	}
+	return m
+}

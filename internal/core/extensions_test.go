@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestPlanBudgetEndpoints(t *testing.T) {
+	groups := paperGroups()
+	// Huge budget: full recall achievable.
+	plan, err := PlanBudget(groups, 0.8, 0.8, 1e9, DefaultCost, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AchievedBeta != 1 {
+		t.Fatalf("huge budget achieved β=%v, want 1", plan.AchievedBeta)
+	}
+	// Zero budget with a precision-trivial setup: β=0 plan costs > 0
+	// because of margins, so expect an error.
+	if _, err := PlanBudget(groups, 0.8, 0.8, 0, DefaultCost, nil); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := PlanBudget(groups, 0.8, 0.8, -5, DefaultCost, nil); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestPlanBudgetMonotone(t *testing.T) {
+	groups := paperGroups()
+	prev := -1.0
+	for _, budget := range []float64{1500, 3000, 5000, 8000} {
+		plan, err := PlanBudget(groups, 0.8, 0.8, budget, DefaultCost, nil)
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		if plan.AchievedBeta < prev-1e-9 {
+			t.Fatalf("achieved β decreased at budget %v", budget)
+		}
+		prev = plan.AchievedBeta
+		// The plan must respect the budget.
+		if c := plan.Strategy.ExpectedCost(groups, DefaultCost); c > budget+1e-6 {
+			t.Fatalf("plan cost %v exceeds budget %v", c, budget)
+		}
+	}
+}
+
+func bruteForceTwoPred(groups []TwoPredGroup, cons Constraints, cost CostModel) float64 {
+	actions := []TwoPredAction{TPDiscard, TPAssumeBoth, TPEval1Assume2, TPAssume1Eval2, TPEvalBoth}
+	n := len(groups)
+	totalCorrect := 0.0
+	for _, g := range groups {
+		totalCorrect += float64(g.Size) * g.Sel1 * g.Sel2
+	}
+	gamma := cons.Beta * totalCorrect
+	best := math.Inf(1)
+	acts := make([]TwoPredAction, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			c, recall, prec := 0.0, 0.0, 0.0
+			for gi, a := range acts {
+				g := groups[gi]
+				t := float64(g.Size)
+				cc, corr, wrong := twoPredStats(g, a, cost)
+				c += t * cc
+				recall += t * corr
+				prec += t * (corr - cons.Alpha*(corr+wrong))
+			}
+			if recall >= gamma-1e-9 && prec >= -1e-9 && c < best {
+				best = c
+			}
+			return
+		}
+		for _, a := range actions {
+			acts[i] = a
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestPlanTwoPredicatesMatchesBruteForce(t *testing.T) {
+	r := stats.NewRNG(801)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.IntN(4)
+		groups := make([]TwoPredGroup, n)
+		for i := range groups {
+			groups[i] = TwoPredGroup{
+				Size: 50 + r.IntN(500),
+				Sel1: r.Float64(),
+				Sel2: r.Float64(),
+			}
+		}
+		cons := Constraints{Alpha: 0.4 + 0.5*r.Float64(), Beta: 0.4 + 0.5*r.Float64(), Rho: 0.8}
+		want := bruteForceTwoPred(groups, cons, DefaultCost)
+		acts, got, err := PlanTwoPredicates(groups, cons, DefaultCost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: cost %v want %v (acts %v)", trial, got, want, acts)
+		}
+	}
+}
+
+func TestPlanTwoPredicatesSkipsSecondUDF(t *testing.T) {
+	// A group very unlikely to pass predicate 1 should not pay for
+	// evaluating predicate 2 (the paper's motivating observation).
+	groups := []TwoPredGroup{
+		{Size: 1000, Sel1: 0.95, Sel2: 0.95}, // passes both: assume or cheap
+		{Size: 1000, Sel1: 0.02, Sel2: 0.9},  // fails pred 1: discard
+	}
+	cons := Constraints{Alpha: 0.8, Beta: 0.8, Rho: 0.8}
+	acts, _, err := PlanTwoPredicates(groups, cons, DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts[1] != TPDiscard {
+		t.Fatalf("low-sel1 group action %v, want discard", acts[1])
+	}
+}
+
+func TestTwoPredActionString(t *testing.T) {
+	names := map[TwoPredAction]string{
+		TPDiscard: "discard", TPAssumeBoth: "assume-both",
+		TPEval1Assume2: "eval-1", TPAssume1Eval2: "eval-2", TPEvalBoth: "eval-both",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Fatalf("%d stringifies as %q, want %q", a, a.String(), want)
+		}
+	}
+	if TwoPredAction(99).String() != "invalid" {
+		t.Fatal("invalid action string")
+	}
+}
+
+func TestTwoPredStatsEvalBothNeverWrong(t *testing.T) {
+	r := stats.NewRNG(803)
+	for trial := 0; trial < 100; trial++ {
+		g := TwoPredGroup{Size: 100, Sel1: r.Float64(), Sel2: r.Float64()}
+		_, _, wrong := twoPredStats(g, TPEvalBoth, DefaultCost)
+		if wrong != 0 {
+			t.Fatalf("eval-both produced wrong mass %v", wrong)
+		}
+		// And it costs less than two unconditional evaluations.
+		c, _, _ := twoPredStats(g, TPEvalBoth, DefaultCost)
+		full := DefaultCost.Retrieve + 2*DefaultCost.Evaluate
+		if c > full+1e-12 {
+			t.Fatalf("eval-both cost %v exceeds unconditional %v", c, full)
+		}
+	}
+}
+
+func TestPlanSelectJoinWeighting(t *testing.T) {
+	cons := Constraints{Alpha: 0.7, Beta: 0.7, Rho: 0.8}
+	// Two groups with the same size/selectivity; one joins with 10 tuples
+	// per row, the other with 1. The heavy group should be retrieved first.
+	groups := []JoinGroup{
+		{Size: 1000, Selectivity: 0.5, JoinWeight: 1},
+		{Size: 1000, Selectivity: 0.5, JoinWeight: 10},
+	}
+	s, err := PlanSelectJoin(groups, cons, DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.R[1] <= s.R[0] {
+		t.Fatalf("heavy join group retrieved less: R=%v", s.R)
+	}
+	// The heavy group alone can cover the weighted recall target, so the
+	// light group should be untouched.
+	if s.R[0] != 0 {
+		t.Fatalf("light join group should be discarded, R[0]=%v", s.R[0])
+	}
+}
+
+func TestPlanSelectJoinUniformWeightsMatchPlain(t *testing.T) {
+	cons := Constraints{Alpha: 0.8, Beta: 0.8, Rho: 0.8}
+	jg := []JoinGroup{
+		{Size: 1000, Selectivity: 0.9, JoinWeight: 1},
+		{Size: 1000, Selectivity: 0.5, JoinWeight: 1},
+		{Size: 1000, Selectivity: 0.1, JoinWeight: 1},
+	}
+	sJoin, err := PlanSelectJoin(jg, cons, DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPlain, err := PlanPerfectSelectivities(paperGroups(), cons, DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sPlain.R {
+		if math.Abs(sJoin.R[i]-sPlain.R[i]) > 1e-9 || math.Abs(sJoin.E[i]-sPlain.E[i]) > 1e-9 {
+			t.Fatalf("weight-1 join plan differs from plain plan: %v vs %v", sJoin, sPlain)
+		}
+	}
+}
+
+func TestPlanSelectJoinErrors(t *testing.T) {
+	cons := Constraints{Alpha: 0.8, Beta: 0.8, Rho: 0.8}
+	if _, err := PlanSelectJoin(nil, cons, DefaultCost); err == nil {
+		t.Fatal("empty groups accepted")
+	}
+	bad := []JoinGroup{{Size: 10, Selectivity: 0.5, JoinWeight: -1}}
+	if _, err := PlanSelectJoin(bad, cons, DefaultCost); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/solver"
+)
+
+// This file wraps the Section 3.1 Perfect-Information problem: exact
+// per-group correct/incorrect counts are known, decisions are deterministic
+// (0/1), and the optimization is NP-hard (Theorem 3.2, by reduction from
+// min-knapsack). The exact optimizer lives in internal/solver; this file
+// adapts it to the package's strategy types.
+
+// PerfectInfoGroup is a group with exactly known composition.
+type PerfectInfoGroup struct {
+	Key     string
+	Correct int // Cₐ
+	Wrong   int // Wₐ
+}
+
+// PerfectInfoPlan is the deterministic plan for the perfect-information
+// problem.
+type PerfectInfoPlan struct {
+	Actions []solver.Action
+	Cost    float64
+}
+
+// Strategy converts the deterministic actions to the probabilistic strategy
+// representation (probabilities 0 or 1), so the shared executor can run it.
+func (p PerfectInfoPlan) Strategy() Strategy {
+	s := NewStrategy(len(p.Actions))
+	for i, a := range p.Actions {
+		switch a {
+		case solver.Retrieve:
+			s.R[i] = 1
+		case solver.Evaluate:
+			s.R[i], s.E[i] = 1, 1
+		}
+	}
+	return s
+}
+
+// SolvePerfectInformation solves Problem 1 exactly: minimum-cost
+// deterministic actions satisfying the precision and recall constraints
+// given exact Cₐ/Wₐ counts. Exponential worst case (the problem is
+// NP-hard) but fast in practice for realistic group counts; use
+// GreedyPerfectInformation for very wide instances.
+func SolvePerfectInformation(groups []PerfectInfoGroup, cons Constraints, cost CostModel) (PerfectInfoPlan, error) {
+	inst, err := perfectInfoInstance(groups, cons, cost)
+	if err != nil {
+		return PerfectInfoPlan{}, err
+	}
+	acts, c, err := solver.SolvePerfectInfo(inst)
+	if err != nil {
+		return PerfectInfoPlan{}, err
+	}
+	return PerfectInfoPlan{Actions: acts, Cost: c}, nil
+}
+
+// GreedyPerfectInformation returns a feasible (not necessarily optimal)
+// plan in O(|A| log |A|) time.
+func GreedyPerfectInformation(groups []PerfectInfoGroup, cons Constraints, cost CostModel) (PerfectInfoPlan, error) {
+	inst, err := perfectInfoInstance(groups, cons, cost)
+	if err != nil {
+		return PerfectInfoPlan{}, err
+	}
+	acts, c := solver.GreedyPerfectInfo(inst)
+	return PerfectInfoPlan{Actions: acts, Cost: c}, nil
+}
+
+func perfectInfoInstance(groups []PerfectInfoGroup, cons Constraints, cost CostModel) (solver.PerfectInfoInstance, error) {
+	if len(groups) == 0 {
+		return solver.PerfectInfoInstance{}, fmt.Errorf("core: no groups")
+	}
+	if err := cons.Validate(); err != nil {
+		return solver.PerfectInfoInstance{}, err
+	}
+	if err := cost.Validate(); err != nil {
+		return solver.PerfectInfoInstance{}, err
+	}
+	inst := solver.PerfectInfoInstance{
+		Correct:      make([]int, len(groups)),
+		Wrong:        make([]int, len(groups)),
+		Alpha:        cons.Alpha,
+		Beta:         cons.Beta,
+		RetrieveCost: cost.Retrieve,
+		EvaluateCost: cost.Evaluate,
+	}
+	for i, g := range groups {
+		if g.Correct < 0 || g.Wrong < 0 {
+			return solver.PerfectInfoInstance{}, fmt.Errorf("core: group %d has negative counts", i)
+		}
+		inst.Correct[i] = g.Correct
+		inst.Wrong[i] = g.Wrong
+	}
+	return inst, nil
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Execution and estimation for conjunctions of two expensive predicates
+// (Section 5 / Appendix 10.7.2). Planning lives in extensions.go
+// (PlanTwoPredicates); this file adds per-group sampling of both UDFs and
+// a deterministic executor for the five per-group actions.
+
+// TwoPredSample records, per group, the sampled rows' outcomes under both
+// predicates.
+type TwoPredSample struct {
+	// Results maps sampled row → (f1, f2) outcomes.
+	Results map[int][2]bool
+	// Pos1, Pos2, PosBoth count rows passing f1, f2 and both.
+	Pos1, Pos2, PosBoth int
+}
+
+// SampleTwoPredicates evaluates both UDFs on `targets[i]` random tuples of
+// each group and returns per-group samples plus TwoPredGroup estimates
+// (Beta-posterior means over the remaining tuples). Evaluations are
+// charged through the provided UDFs (wrap them in meters).
+func SampleTwoPredicates(groups []Group, targets []int, udf1, udf2 UDF, rng *stats.RNG) ([]TwoPredSample, []TwoPredGroup, error) {
+	if len(targets) != len(groups) {
+		return nil, nil, fmt.Errorf("core: %d targets for %d groups", len(targets), len(groups))
+	}
+	samples := make([]TwoPredSample, len(groups))
+	infos := make([]TwoPredGroup, len(groups))
+	for i, g := range groups {
+		samples[i] = TwoPredSample{Results: make(map[int][2]bool)}
+		want := targets[i]
+		if want > len(g.Rows) {
+			want = len(g.Rows)
+		}
+		for _, idx := range rng.SampleWithoutReplacement(len(g.Rows), want) {
+			row := g.Rows[idx]
+			v1 := udf1.Eval(row)
+			v2 := udf2.Eval(row)
+			samples[i].Results[row] = [2]bool{v1, v2}
+			if v1 {
+				samples[i].Pos1++
+			}
+			if v2 {
+				samples[i].Pos2++
+			}
+			if v1 && v2 {
+				samples[i].PosBoth++
+			}
+		}
+		f := len(samples[i].Results)
+		infos[i] = TwoPredGroup{
+			Size: len(g.Rows),
+			Sel1: stats.NewBetaPosterior(samples[i].Pos1, f-samples[i].Pos1).Mean(),
+			Sel2: stats.NewBetaPosterior(samples[i].Pos2, f-samples[i].Pos2).Mean(),
+		}
+	}
+	return samples, infos, nil
+}
+
+// TwoPredExecResult is the outcome of executing a two-predicate plan.
+type TwoPredExecResult struct {
+	Output    []int
+	Retrieved int
+	// Evaluated1 / Evaluated2 count UDF invocations charged during
+	// execution per predicate (excluding sampling).
+	Evaluated1, Evaluated2 int
+	Cost                   float64
+}
+
+// ExecuteTwoPredicates runs the per-group actions. Rows fully evaluated
+// during sampling are resolved from their recorded outcomes at no extra
+// cost (they are returned iff both predicates held). samples may be nil.
+//
+// Action semantics per remaining tuple:
+//
+//	TPDiscard       skip
+//	TPAssumeBoth    retrieve, return
+//	TPEval1Assume2  retrieve, evaluate f1, return iff f1
+//	TPAssume1Eval2  retrieve, evaluate f2, return iff f2
+//	TPEvalBoth      retrieve, evaluate f1; if it passes, evaluate f2;
+//	                return iff both
+func ExecuteTwoPredicates(groups []Group, acts []TwoPredAction, samples []TwoPredSample, udf1, udf2 UDF, cost CostModel) (TwoPredExecResult, error) {
+	if len(acts) != len(groups) {
+		return TwoPredExecResult{}, fmt.Errorf("core: %d actions for %d groups", len(acts), len(groups))
+	}
+	if samples != nil && len(samples) != len(groups) {
+		return TwoPredExecResult{}, fmt.Errorf("core: %d samples for %d groups", len(samples), len(groups))
+	}
+	var res TwoPredExecResult
+	for gi, g := range groups {
+		act := acts[gi]
+		var sampled map[int][2]bool
+		if samples != nil {
+			sampled = samples[gi].Results
+		}
+		for _, row := range g.Rows {
+			if v, ok := sampled[row]; ok {
+				if v[0] && v[1] {
+					res.Output = append(res.Output, row)
+				}
+				continue
+			}
+			switch act {
+			case TPDiscard:
+			case TPAssumeBoth:
+				res.Retrieved++
+				res.Output = append(res.Output, row)
+			case TPEval1Assume2:
+				res.Retrieved++
+				res.Evaluated1++
+				if udf1.Eval(row) {
+					res.Output = append(res.Output, row)
+				}
+			case TPAssume1Eval2:
+				res.Retrieved++
+				res.Evaluated2++
+				if udf2.Eval(row) {
+					res.Output = append(res.Output, row)
+				}
+			case TPEvalBoth:
+				res.Retrieved++
+				res.Evaluated1++
+				if udf1.Eval(row) {
+					res.Evaluated2++
+					if udf2.Eval(row) {
+						res.Output = append(res.Output, row)
+					}
+				}
+			default:
+				return TwoPredExecResult{}, fmt.Errorf("core: invalid action %v for group %d", act, gi)
+			}
+		}
+	}
+	res.Cost = cost.Retrieve*float64(res.Retrieved) +
+		cost.Evaluate*float64(res.Evaluated1+res.Evaluated2)
+	return res, nil
+}
+
+// RunTwoPredicates is the end-to-end pipeline for a conjunction of two
+// expensive predicates: sample both UDFs per group, estimate joint
+// selectivities, plan with PlanTwoPredicates (constraints tightened by
+// Hoeffding margins so the expectation-level plan carries a probabilistic
+// guarantee), and execute. A tuple is correct iff both predicates hold.
+func RunTwoPredicates(groups []Group, udf1, udf2 UDF, cons Constraints, cost CostModel, alloc Allocator, rng *stats.RNG) (TwoPredExecResult, []TwoPredAction, error) {
+	if alloc == nil {
+		alloc = TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}
+	}
+	if rng == nil {
+		return TwoPredExecResult{}, nil, fmt.Errorf("core: rng is required")
+	}
+	sizes := make([]int, len(groups))
+	total := 0
+	for i, g := range groups {
+		sizes[i] = len(g.Rows)
+		total += len(g.Rows)
+	}
+	m1 := NewMeter(udf1)
+	m2 := NewMeter(udf2)
+	samples, infos, err := SampleTwoPredicates(groups, alloc.Allocate(sizes), m1, m2, rng.Split())
+	if err != nil {
+		return TwoPredExecResult{}, nil, err
+	}
+
+	// Expectation-level planning with margin-tightened constraints: shift
+	// α and β by the relative Hoeffding deviations so the realized
+	// precision/recall concentrate above the user's bounds.
+	tight := cons
+	n := float64(total)
+	if n > 0 {
+		expCorrect := 0.0
+		for _, g := range infos {
+			expCorrect += float64(g.Size) * g.Sel1 * g.Sel2
+		}
+		if expCorrect > 1 {
+			tight.Beta = stats.Clamp01(cons.Beta + stats.RecallMargin(n, cons.Beta, cons.Rho)/expCorrect)
+			tight.Alpha = stats.Clamp01(cons.Alpha + stats.PrecisionMargin(n, cons.Rho)/expCorrect)
+		}
+	}
+	acts, _, err := PlanTwoPredicates(infos, tight, cost)
+	if err != nil {
+		// Margins can push the tightened problem out of feasibility even
+		// though evaluating both predicates everywhere trivially satisfies
+		// the user's real constraints — fall back to that.
+		acts = make([]TwoPredAction, len(groups))
+		for i := range acts {
+			acts[i] = TPEvalBoth
+		}
+	}
+	exec, err := ExecuteTwoPredicates(groups, acts, samples, m1, m2, cost)
+	if err != nil {
+		return TwoPredExecResult{}, nil, err
+	}
+	// Fold the sampling work into the accounting.
+	sampledRows, evals1, evals2 := 0, 0, 0
+	for _, s := range samples {
+		sampledRows += len(s.Results)
+	}
+	evals1 = m1.Calls() - exec.Evaluated1
+	evals2 = m2.Calls() - exec.Evaluated2
+	exec.Retrieved += sampledRows
+	exec.Evaluated1 += evals1
+	exec.Evaluated2 += evals2
+	exec.Cost += float64(sampledRows)*cost.Retrieve + float64(evals1+evals2)*cost.Evaluate
+	return exec, acts, nil
+}

@@ -1,0 +1,223 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/solver"
+	"repro/internal/stats"
+)
+
+// Calibration turns a Spec's published statistics into concrete per-group
+// sizes and selectivities.
+//
+// Sizes: a right-skewed exponential ramp is standardized and scaled to the
+// requested sample standard deviation around the mean N/k; the skew
+// parameter is grown until every group stays above the minimum size (large
+// deviations, like Census's 8183 around a 6428 mean, force heavy skew).
+//
+// Selectivities: initialized from a linear-Gaussian construction that hits
+// the requested correlation against the size pattern, then polished by a
+// small projected-gradient fit (reusing internal/solver) that drives the
+// weighted mean, sample deviation and correlation onto their targets while
+// respecting the [0.005, 0.995] box.
+
+// Calibration is the resolved group structure of a dataset.
+type Calibration struct {
+	Sizes         []int
+	Selectivities []float64
+	Correct       []int // per-group correct-tuple counts (rounded)
+}
+
+// Calibrate computes group sizes and selectivities matching the spec.
+func Calibrate(spec Spec) (Calibration, error) {
+	if err := spec.Validate(); err != nil {
+		return Calibration{}, err
+	}
+	minSize := spec.MinGroupSize
+	if minSize <= 0 {
+		minSize = 30
+	}
+	sizes, z, err := calibrateSizes(spec, minSize)
+	if err != nil {
+		return Calibration{}, err
+	}
+	sels, err := calibrateSelectivities(spec, sizes, z)
+	if err != nil {
+		return Calibration{}, err
+	}
+	cal := Calibration{Sizes: sizes, Selectivities: sels, Correct: make([]int, len(sizes))}
+	for i := range sizes {
+		cal.Correct[i] = int(math.Round(sels[i] * float64(sizes[i])))
+	}
+	return cal, nil
+}
+
+// calibrateSizes returns integer sizes summing to spec.N whose sample
+// standard deviation is spec.SizeDev, plus the standardized size pattern z
+// used to correlate selectivities.
+func calibrateSizes(spec Spec, minSize int) ([]int, []float64, error) {
+	k := spec.Groups
+	mean := float64(spec.N) / float64(k)
+	// Degenerate case: no spread requested.
+	if spec.SizeDev == 0 {
+		sizes := evenSplit(spec.N, k)
+		return sizes, make([]float64, k), nil
+	}
+	for g := 0.4; g <= 24; g *= 1.15 {
+		z := standardizedExpRamp(k, g)
+		ok := true
+		raw := make([]float64, k)
+		for i := range raw {
+			raw[i] = mean + spec.SizeDev*z[i]
+			if raw[i] < float64(minSize) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		sizes := roundToSum(raw, spec.N, minSize)
+		return sizes, z, nil
+	}
+	return nil, nil, fmt.Errorf("dataset %s: size deviation %v unreachable with %d groups of mean %v",
+		spec.Name, spec.SizeDev, k, mean)
+}
+
+// standardizedExpRamp returns exp(g·i/(k−1)) standardized to sample mean 0
+// and sample standard deviation 1.
+func standardizedExpRamp(k int, g float64) []float64 {
+	z := make([]float64, k)
+	for i := range z {
+		z[i] = math.Exp(g * float64(i) / float64(k-1))
+	}
+	m := stats.Mean(z)
+	sd := stats.SampleStdDev(z)
+	for i := range z {
+		z[i] = (z[i] - m) / sd
+	}
+	return z
+}
+
+// evenSplit divides n into k near-equal integers summing to n.
+func evenSplit(n, k int) []int {
+	sizes := make([]int, k)
+	base := n / k
+	rem := n % k
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// roundToSum rounds raw to integers ≥ minSize summing exactly to n,
+// distributing the rounding residue across the largest groups.
+func roundToSum(raw []float64, n, minSize int) []int {
+	sizes := make([]int, len(raw))
+	total := 0
+	largest := 0
+	for i, v := range raw {
+		sizes[i] = int(math.Round(v))
+		if sizes[i] < minSize {
+			sizes[i] = minSize
+		}
+		total += sizes[i]
+		if sizes[i] > sizes[largest] {
+			largest = i
+		}
+	}
+	sizes[largest] += n - total
+	return sizes
+}
+
+// calibrateSelectivities returns per-group selectivities whose
+// size-weighted mean, sample deviation, and correlation with the sizes
+// match the spec.
+func calibrateSelectivities(spec Spec, sizes []int, z []float64) ([]float64, error) {
+	k := spec.Groups
+	fSizes := make([]float64, k)
+	for i, t := range sizes {
+		fSizes[i] = float64(t)
+	}
+
+	// Initial guess: linear-Gaussian construction s = μ + d(r·z + q·w) with
+	// w a fixed pattern orthogonalized against z.
+	w := orthogonalPattern(z)
+	r := spec.SizeSelCorr
+	q := math.Sqrt(math.Max(0, 1-r*r))
+	init := make([]float64, k)
+	for i := range init {
+		init[i] = spec.Selectivity + spec.SelDev*(r*z[i]+q*w[i])
+	}
+
+	const lo, hi = 0.005, 0.995
+	loss := func(s []float64) float64 {
+		wm := stats.WeightedMean(s, fSizes)
+		sd := stats.SampleStdDev(s)
+		corr := stats.PearsonCorrelation(fSizes, s)
+		e1 := wm - spec.Selectivity
+		e2 := sd - spec.SelDev
+		e3 := corr - spec.SizeSelCorr
+		return 40*e1*e1 + 10*e2*e2 + e3*e3
+	}
+	prob := solver.Problem{
+		Dim: k,
+		Obj: loss,
+		Project: func(x []float64) {
+			for i := range x {
+				x[i] = stats.Clamp(x[i], lo, hi)
+			}
+		},
+	}
+	res, err := solver.Solve(prob, init, solver.Options{MaxOuter: 1, MaxInner: 4000, Step: 0.05})
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: selectivity calibration failed: %w", spec.Name, err)
+	}
+	if err := solver.NaNGuard(res.X); err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", spec.Name, err)
+	}
+	return res.X, nil
+}
+
+// orthogonalPattern builds a unit-deviation pattern orthogonal (in the
+// sample sense) to z: an alternating wave Gram-Schmidt-projected against z.
+func orthogonalPattern(z []float64) []float64 {
+	k := len(z)
+	w := make([]float64, k)
+	for i := range w {
+		if i%2 == 0 {
+			w[i] = 1
+		} else {
+			w[i] = -1
+		}
+		// Break symmetry so w isn't accidentally parallel to z.
+		w[i] += 0.3 * math.Sin(float64(i))
+	}
+	// Remove mean, project out z, restandardize.
+	m := stats.Mean(w)
+	for i := range w {
+		w[i] -= m
+	}
+	var dot, zz float64
+	for i := range w {
+		dot += w[i] * z[i]
+		zz += z[i] * z[i]
+	}
+	if zz > 0 {
+		for i := range w {
+			w[i] -= dot / zz * z[i]
+		}
+	}
+	sd := stats.SampleStdDev(w)
+	if sd < 1e-9 {
+		return make([]float64, k)
+	}
+	for i := range w {
+		w[i] /= sd
+	}
+	return w
+}

@@ -1,0 +1,121 @@
+// Package dataset generates the synthetic stand-ins for the paper's four
+// evaluation datasets. The real data (LendingClub and Prosper loan dumps,
+// the UCI Bank Marketing and Census/Adult sets) is not redistributable, so
+// each generator is calibrated to every statistic the paper publishes:
+// total tuple count and overall predicate selectivity (Table 2), and the
+// group count, group-size standard deviation, group-selectivity standard
+// deviation and size–selectivity Pearson correlation of the designated
+// correlated column (Table 3 / Appendix 10.8). The paper's algorithms
+// observe the data only through group sizes, column values and UDF
+// outcomes, so matching these marginals reproduces the cost/accuracy
+// trade-offs the paper measures.
+package dataset
+
+import "fmt"
+
+// Spec describes one dataset to synthesize.
+type Spec struct {
+	// Name identifies the dataset ("lc", "prosper", "census", "marketing").
+	Name string
+	// N is the number of tuples.
+	N int
+	// Groups is the number of distinct values of the correlated column.
+	Groups int
+	// Selectivity is the overall fraction of tuples satisfying the UDF.
+	Selectivity float64
+	// SizeDev is the sample standard deviation of group sizes.
+	SizeDev float64
+	// SelDev is the sample standard deviation of group selectivities.
+	SelDev float64
+	// SizeSelCorr is the Pearson correlation between group size and group
+	// selectivity.
+	SizeSelCorr float64
+	// Predictor names the correlated column.
+	Predictor string
+	// ExtraPredictors adds noisy copies of the correlated column at
+	// increasing noise levels (used by the §6.2.1 column-robustness study).
+	ExtraPredictors int
+	// MinGroupSize floors the group sizes during calibration (default 30).
+	MinGroupSize int
+}
+
+// Validate checks the spec is generatable.
+func (s Spec) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("dataset %s: N=%d", s.Name, s.N)
+	}
+	if s.Groups < 2 || s.Groups > s.N {
+		return fmt.Errorf("dataset %s: %d groups for %d tuples", s.Name, s.Groups, s.N)
+	}
+	if s.Selectivity <= 0 || s.Selectivity >= 1 {
+		return fmt.Errorf("dataset %s: selectivity %v", s.Name, s.Selectivity)
+	}
+	if s.SizeDev < 0 || s.SelDev < 0 {
+		return fmt.Errorf("dataset %s: negative deviation", s.Name)
+	}
+	if s.SizeSelCorr < -1 || s.SizeSelCorr > 1 {
+		return fmt.Errorf("dataset %s: correlation %v", s.Name, s.SizeSelCorr)
+	}
+	return nil
+}
+
+// Scaled returns a spec for a dataset shrunk (or grown) by factor while
+// preserving all distributional statistics; SizeDev scales with the mean
+// group size. Used to keep unit tests and micro-benchmarks fast.
+func (s Spec) Scaled(factor float64) Spec {
+	out := s
+	out.N = int(float64(s.N) * factor)
+	out.SizeDev = s.SizeDev * factor
+	if out.N < s.Groups*10 {
+		out.N = s.Groups * 10
+		out.SizeDev = s.SizeDev * float64(out.N) / float64(s.N)
+	}
+	return out
+}
+
+// The four evaluation datasets, calibrated to Tables 2 and 3 of the paper.
+var (
+	// LendingClub: ~53k loans, selectivity 0.72 ("Fully Paid"), predictor
+	// Grade with 7 values, size dev 5233, sel dev 0.13, correlation 0.84.
+	LendingClub = Spec{
+		Name: "lc", N: 53000, Groups: 7, Selectivity: 0.72,
+		SizeDev: 5233, SelDev: 0.13, SizeSelCorr: 0.84,
+		Predictor: "grade", ExtraPredictors: 35,
+	}
+	// Prosper: ~30k loans, selectivity 0.45, predictor Grade with 8 values,
+	// size dev 1521, sel dev 0.20, correlation 0.20.
+	Prosper = Spec{
+		Name: "prosper", N: 30000, Groups: 8, Selectivity: 0.45,
+		SizeDev: 1521, SelDev: 0.20, SizeSelCorr: 0.20,
+		Predictor: "grade",
+	}
+	// Census: ~45k people, selectivity 0.24 (income > 50k), predictor
+	// Marital Status with 7 values, size dev 8183, sel dev 0.15,
+	// correlation 0.36.
+	Census = Spec{
+		Name: "census", N: 45000, Groups: 7, Selectivity: 0.24,
+		SizeDev: 8183, SelDev: 0.15, SizeSelCorr: 0.36,
+		Predictor: "marital_status",
+	}
+	// Marketing: ~41k phone-campaign contacts, selectivity 0.11
+	// (subscribed), predictor Employment Variation Rate with 10 values,
+	// size dev 5070, sel dev 0.20, correlation −0.65.
+	Marketing = Spec{
+		Name: "marketing", N: 41000, Groups: 10, Selectivity: 0.11,
+		SizeDev: 5070, SelDev: 0.20, SizeSelCorr: -0.65,
+		Predictor: "emp_var_rate",
+	}
+)
+
+// All returns the four paper datasets in presentation order.
+func All() []Spec { return []Spec{LendingClub, Prosper, Census, Marketing} }
+
+// ByName looks a spec up by its Name field.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dataset: unknown dataset %q", name)
+}

@@ -1,0 +1,491 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// Engine executes selection queries with expensive UDF predicates against
+// registered tables, using the core optimizer for approximate execution.
+type Engine struct {
+	mu       sync.RWMutex
+	tables   map[string]*table.Table
+	registry *Registry
+	// Cost is the engine-wide cost model; a UDF's own Cost overrides
+	// Evaluate when set.
+	Cost core.CostModel
+	// LabelFraction is the fraction of tuples labeled to discover a
+	// correlated column (default 0.01, the paper's 1%).
+	LabelFraction float64
+	// VirtualBuckets is the bucket count for the logistic-regression
+	// virtual column (default 10).
+	VirtualBuckets int
+	// MaxCandidateCardinality caps candidate correlated columns (default
+	// 50, matching the paper's column scan).
+	MaxCandidateCardinality int
+
+	rng *stats.RNG
+}
+
+// New returns an engine with the paper's default cost model (o_r = 1,
+// o_e = 3) and the given deterministic seed.
+func New(seed uint64) *Engine {
+	return &Engine{
+		tables:                  make(map[string]*table.Table),
+		registry:                NewRegistry(),
+		Cost:                    core.DefaultCost,
+		LabelFraction:           0.01,
+		VirtualBuckets:          10,
+		MaxCandidateCardinality: 50,
+		rng:                     stats.NewRNG(seed),
+	}
+}
+
+// RegisterTable adds a table; the name must be unused.
+func (e *Engine) RegisterTable(t *table.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[t.Name()]; dup {
+		return fmt.Errorf("engine: table %q already registered", t.Name())
+	}
+	e.tables[t.Name()] = t
+	return nil
+}
+
+// Table looks up a registered table.
+func (e *Engine) Table(name string) (*table.Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// RegisterUDF adds a UDF to the engine's registry.
+func (e *Engine) RegisterUDF(u UDF) error { return e.registry.Register(u) }
+
+// udfFault collects the first panic a UDF body raised during a query, so
+// a buggy user function surfaces as a query error instead of crashing the
+// process. The faulting tuple is treated as non-matching (it is never
+// returned), and the error is reported once execution finishes.
+type udfFault struct {
+	err error
+}
+
+// Err returns the recorded fault, if any.
+func (f *udfFault) Err() error { return f.err }
+
+// rowUDF adapts a registered UDF to the core row-based interface, honoring
+// the query's "= 0/1" comparison. Panics inside the UDF body are captured
+// into the returned fault.
+func (e *Engine) rowUDF(tbl *table.Table, q Query) (core.UDF, *udfFault, error) {
+	u, err := e.registry.Lookup(q.UDFName)
+	if err != nil {
+		return nil, nil, err
+	}
+	col := tbl.ColumnByName(q.UDFArg)
+	if col == nil {
+		return nil, nil, fmt.Errorf("engine: table %q has no column %q for UDF argument", q.Table, q.UDFArg)
+	}
+	fault := &udfFault{}
+	return core.UDFFunc(func(row int) (result bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if fault.err == nil {
+					fault.err = fmt.Errorf("engine: UDF %q panicked on row %d: %v", q.UDFName, row, r)
+				}
+				result = false
+			}
+		}()
+		return u.Body(col.Value(row)) == q.Want
+	}), fault, nil
+}
+
+// costModel resolves the effective costs for the query's UDF.
+func (e *Engine) costModel(q Query) core.CostModel {
+	cost := e.Cost
+	if u, err := e.registry.Lookup(q.UDFName); err == nil && u.Cost > 0 {
+		cost.Evaluate = u.Cost
+	}
+	return cost
+}
+
+// Execute runs the query and returns the matching row ids plus statistics.
+func (e *Engine) Execute(q Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	tbl, err := e.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	udf, fault, err := e.rowUDF(tbl, q)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.projection(tbl, q.Columns); err != nil {
+		return nil, err
+	}
+	cost := e.costModel(q)
+	subset, err := e.filterRows(tbl, q.Filters)
+	if err != nil {
+		return nil, err
+	}
+	if q.And != nil {
+		res, err := e.executeTwoPred(tbl, q, cost, subset)
+		if err == nil && fault.Err() != nil {
+			return nil, fault.Err()
+		}
+		return res, err
+	}
+	meter := core.NewMeter(udf)
+	var res *Result
+	if q.Approx == nil {
+		res, err = e.executeExact(tbl, meter, cost, subset)
+	} else {
+		res, err = e.executeApprox(tbl, q, meter, cost, subset)
+	}
+	if err == nil && fault.Err() != nil {
+		return nil, fault.Err()
+	}
+	return res, err
+}
+
+// filterRows applies the query's cheap predicates, returning the matching
+// row ids (nil when there are no filters, meaning "all rows"). The scan is
+// over already-resident column data, so no retrieval or evaluation cost is
+// charged — this is the Section 5 "execute cheap predicates first" rule.
+func (e *Engine) filterRows(tbl *table.Table, filters []Filter) ([]int, error) {
+	if len(filters) == 0 {
+		return nil, nil
+	}
+	cols := make([]table.Column, len(filters))
+	for i, f := range filters {
+		col := tbl.ColumnByName(f.Column)
+		if col == nil {
+			return nil, fmt.Errorf("engine: table %q has no column %q to filter on", tbl.Name(), f.Column)
+		}
+		cols[i] = col
+	}
+	rows := []int{}
+	for r := 0; r < tbl.NumRows(); r++ {
+		keep := true
+		for i, f := range filters {
+			if cols[i].StringAt(r) != f.Value {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// universe resolves a row subset: nil means every row of the table.
+func universe(tbl *table.Table, subset []int) []int {
+	if subset != nil {
+		return subset
+	}
+	rows := make([]int, tbl.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func (e *Engine) executeExact(tbl *table.Table, meter *core.Meter, cost core.CostModel, subset []int) (*Result, error) {
+	scan := universe(tbl, subset)
+	var rows []int
+	for _, i := range scan {
+		if meter.Eval(i) {
+			rows = append(rows, i)
+		}
+	}
+	n := len(scan)
+	return &Result{
+		Rows: rows,
+		Stats: Stats{
+			Evaluations: meter.Calls(),
+			Retrievals:  n,
+			Cost:        float64(n)*cost.Retrieve + float64(meter.Calls())*cost.Evaluate,
+			Exact:       true,
+		},
+	}, nil
+}
+
+func (e *Engine) executeApprox(tbl *table.Table, q Query, meter *core.Meter, cost core.CostModel, subset []int) (*Result, error) {
+	e.mu.Lock()
+	rng := e.rng.Split()
+	e.mu.Unlock()
+
+	cons := q.Approx.Constraints()
+	groups, chosen, labeled, err := e.resolveGroups(tbl, q, meter, cons, cost, rng, subset)
+	if err != nil {
+		return nil, err
+	}
+
+	sampler := core.NewSampler(groups, meter, rng.Split())
+	sampler.Preload(labeled)
+	sizes := make([]int, len(groups))
+	for i, g := range groups {
+		sizes[i] = len(g.Rows)
+	}
+	alloc := core.TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}
+	if _, err := sampler.TopUp(alloc.Allocate(sizes)); err != nil {
+		return nil, err
+	}
+	infos := sampler.Infos()
+
+	var strat core.Strategy
+	achieved := 0.0
+	if q.Budget > 0 {
+		spent := float64(meter.Calls()) * (cost.Retrieve + cost.Evaluate)
+		remaining := q.Budget - spent
+		if remaining < 0 {
+			remaining = 0
+		}
+		plan, err := core.PlanBudget(infos, cons.Alpha, cons.Rho, remaining, cost,
+			func(g []core.GroupInfo, c core.Constraints, cm core.CostModel) (core.Strategy, error) {
+				return core.PlanWithSamples(g, c, cm)
+			})
+		if err != nil {
+			return nil, err
+		}
+		strat = plan.Strategy
+		achieved = plan.AchievedBeta
+	} else {
+		strat, err = core.PlanWithSamples(infos, cons, cost)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	exec, err := core.Execute(groups, strat, sampler.Outcomes(), meter, cost, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(exec.Output)
+	sampled := sampler.TotalSampled()
+	retrievals := sampled + exec.Retrieved
+	return &Result{
+		Rows: exec.Output,
+		Stats: Stats{
+			Evaluations:         meter.Calls(),
+			Retrievals:          retrievals,
+			Cost:                float64(meter.Calls())*cost.Evaluate + float64(retrievals)*cost.Retrieve,
+			ChosenColumn:        chosen,
+			Sampled:             sampled,
+			AchievedRecallBound: achieved,
+		},
+	}, nil
+}
+
+// resolveGroups determines the grouping the optimizer will use: the pinned
+// column, a discovered correlated column, or the logistic-regression
+// virtual column. It returns the groups, the column's display name, and
+// any rows labeled along the way (row → outcome) for reuse.
+func (e *Engine) resolveGroups(tbl *table.Table, q Query, meter *core.Meter, cons core.Constraints, cost core.CostModel, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
+	switch q.GroupOn {
+	case "":
+		return e.discoverColumn(tbl, q, meter, cons, cost, rng, subset)
+	case VirtualColumn:
+		return e.virtualColumn(tbl, q, meter, rng, subset)
+	default:
+		groups, err := groupsFromColumn(tbl, q.GroupOn, subset)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return groups, q.GroupOn, nil, nil
+	}
+}
+
+// VirtualColumn is the GroupOn value requesting a logistic-regression
+// virtual column (Section 6.3.2).
+const VirtualColumn = "virtual"
+
+func groupsFromColumn(tbl *table.Table, column string, subset []int) ([]core.Group, error) {
+	col := tbl.ColumnByName(column)
+	if col == nil {
+		return nil, fmt.Errorf("engine: table %q has no column %q to group on", tbl.Name(), column)
+	}
+	byKey := make(map[string][]int)
+	var keys []string
+	for _, r := range universe(tbl, subset) {
+		k := col.StringAt(r)
+		if _, seen := byKey[k]; !seen {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], r)
+	}
+	sort.Strings(keys)
+	groups := make([]core.Group, 0, len(keys))
+	for _, k := range keys {
+		groups = append(groups, core.Group{Key: k, Rows: byKey[k]})
+	}
+	return groups, nil
+}
+
+// discoverColumn implements Section 4.4's column scan: label a small
+// fraction of tuples, score every low-cardinality column with the
+// Section 3.2 planner, pick the cheapest. The labeled rows are returned
+// for reuse by the sampler.
+func (e *Engine) discoverColumn(tbl *table.Table, q Query, meter *core.Meter, cons core.Constraints, cost core.CostModel, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
+	var cands []core.Candidate
+	for i := 0; i < tbl.Schema().Len(); i++ {
+		def := tbl.Schema().Col(i)
+		if def.Name == q.UDFArg {
+			continue // the UDF argument (usually a key) is not a predictor
+		}
+		groups, err := groupsFromColumn(tbl, def.Name, subset)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		if len(groups) < 2 || len(groups) > e.MaxCandidateCardinality {
+			continue
+		}
+		cands = append(cands, core.Candidate{Name: def.Name, Groups: groups})
+	}
+	if len(cands) == 0 {
+		return nil, "", nil, fmt.Errorf("engine: table %q has no candidate correlated columns; use GROUP ON or %q", q.Table, VirtualColumn)
+	}
+
+	rows := universe(tbl, subset)
+	frac := e.LabelFraction
+	if frac <= 0 {
+		frac = 0.01
+	}
+	labeled := make(map[int]bool)
+	for attempt := 0; attempt < 8; attempt++ {
+		for row, v := range core.LabelFraction(rows, frac, meter, rng) {
+			labeled[row] = v
+		}
+		choice, err := core.SelectColumn(cands, labeled, cons, cost)
+		if err == nil {
+			return cands[choice.Index].Groups, choice.Name, labeled, nil
+		}
+		frac *= 2 // every candidate disqualified: label more and retry
+		if frac > 1 {
+			break
+		}
+	}
+	return nil, "", nil, fmt.Errorf("engine: could not qualify any correlated column for table %q", q.Table)
+}
+
+// virtualColumn implements Section 6.3.2: label ~1% of rows, train a
+// logistic regression over the table's encodable features, score every
+// row, and bucket the scores into equal-frequency groups.
+func (e *Engine) virtualColumn(tbl *table.Table, q Query, meter *core.Meter, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
+	enc, err := ml.BuildEncoder(tbl, ml.Encoder{
+		MaxCardinality: e.MaxCandidateCardinality,
+		Exclude:        []string{q.UDFArg},
+	})
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("engine: virtual column needs encodable features: %w", err)
+	}
+	rows := universe(tbl, subset)
+	frac := e.LabelFraction
+	if frac <= 0 {
+		frac = 0.01
+	}
+	labeled := core.LabelFraction(rows, frac, meter, rng)
+
+	X := make([][]float64, 0, len(labeled))
+	y := make([]bool, 0, len(labeled))
+	for row, v := range labeled {
+		X = append(X, enc.EncodeRow(tbl, row))
+		y = append(y, v)
+	}
+	var model ml.LogisticRegression
+	if err := model.Fit(X, y); err != nil {
+		return nil, "", nil, fmt.Errorf("engine: training virtual column: %w", err)
+	}
+	scores := make([]float64, len(rows))
+	for i, r := range rows {
+		scores[i] = model.Prob(enc.EncodeRow(tbl, r))
+	}
+	k := e.VirtualBuckets
+	if k <= 1 {
+		k = 10
+	}
+	buckets := ml.EqualFrequencyBuckets(scores, k)
+	byBucket := make([][]int, k)
+	for i, b := range buckets {
+		byBucket[b] = append(byBucket[b], rows[i])
+	}
+	var groups []core.Group
+	for b, rws := range byBucket {
+		if len(rws) == 0 {
+			continue
+		}
+		groups = append(groups, core.Group{Key: fmt.Sprintf("bucket%02d", b), Rows: rws})
+	}
+	if len(groups) < 2 {
+		return nil, "", nil, fmt.Errorf("engine: virtual column collapsed to %d buckets", len(groups))
+	}
+	return groups, VirtualColumn, labeled, nil
+}
+
+// projection validates the requested columns and returns their indices
+// (nil means all columns).
+func (e *Engine) projection(tbl *table.Table, cols []string) ([]int, error) {
+	if len(cols) == 0 || (len(cols) == 1 && cols[0] == "*") {
+		return nil, nil
+	}
+	idxs := make([]int, len(cols))
+	for i, name := range cols {
+		j := tbl.Schema().Lookup(name)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: table %q has no column %q", tbl.Name(), name)
+		}
+		idxs[i] = j
+	}
+	return idxs, nil
+}
+
+// Materialize builds a new table holding the result rows with the query's
+// projection applied.
+func (e *Engine) Materialize(q Query, res *Result) (*table.Table, error) {
+	tbl, err := e.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	idxs, err := e.projection(tbl, q.Columns)
+	if err != nil {
+		return nil, err
+	}
+	if idxs == nil {
+		idxs = make([]int, tbl.Schema().Len())
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	defs := make([]table.ColumnDef, len(idxs))
+	for i, j := range idxs {
+		defs[i] = tbl.Schema().Col(j)
+	}
+	schema, err := table.NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+	out := table.New(tbl.Name()+"_result", schema)
+	vals := make([]table.Value, len(idxs))
+	for _, row := range res.Rows {
+		for i, j := range idxs {
+			vals[i] = tbl.Column(j).Value(row)
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

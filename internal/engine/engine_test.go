@@ -1,0 +1,694 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// buildLoanTable creates a small table where good_credit(id) correlates
+// strongly with the grade column: grade A → 90%, B → 50%, C → 10%.
+func buildLoanTable(t testing.TB, n int, seed uint64) (*table.Table, map[int64]bool) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	schema := table.MustSchema(
+		table.ColumnDef{Name: "id", Type: table.Int},
+		table.ColumnDef{Name: "grade", Type: table.String},
+		table.ColumnDef{Name: "income", Type: table.Float},
+		table.ColumnDef{Name: "purpose", Type: table.String},
+	)
+	tbl := table.New("loans", schema)
+	truth := make(map[int64]bool, n)
+	grades := []string{"A", "B", "C"}
+	sels := []float64{0.9, 0.5, 0.1}
+	for i := 0; i < n; i++ {
+		g := i % 3
+		id := int64(i)
+		label := rng.Bernoulli(sels[g])
+		truth[id] = label
+		inc := 30000 + rng.Float64()*90000
+		if label {
+			inc += 20000
+		}
+		purpose := []string{"car", "home", "debt", "other"}[rng.IntN(4)]
+		if err := tbl.AppendRow(id, grades[g], inc, purpose); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl, truth
+}
+
+func newTestEngine(t testing.TB, n int) (*Engine, map[int64]bool, *int) {
+	t.Helper()
+	tbl, truth := buildLoanTable(t, n, 42)
+	e := New(7)
+	if err := e.RegisterTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	calls := new(int)
+	err := e.RegisterUDF(UDF{
+		Name: "good_credit",
+		Body: func(v table.Value) bool {
+			*calls++
+			return truth[v.(int64)]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, truth, calls
+}
+
+func approx(alpha, beta, rho float64) *Approx {
+	return &Approx{Precision: alpha, Recall: beta, Probability: rho}
+}
+
+func TestExecuteExact(t *testing.T) {
+	e, truth, calls := newTestEngine(t, 900)
+	res, err := e.Execute(Query{Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Exact {
+		t.Fatal("expected exact execution")
+	}
+	if *calls != 900 || res.Stats.Evaluations != 900 {
+		t.Fatalf("exact evaluated %d/%d, want 900", *calls, res.Stats.Evaluations)
+	}
+	wantCount := 0
+	for _, v := range truth {
+		if v {
+			wantCount++
+		}
+	}
+	if len(res.Rows) != wantCount {
+		t.Fatalf("exact output %d rows, want %d", len(res.Rows), wantCount)
+	}
+}
+
+func TestExecuteApproxPinnedColumn(t *testing.T) {
+	e, truth, _ := newTestEngine(t, 3000)
+	res, err := e.Execute(Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Approx: approx(0.8, 0.8, 0.8), GroupOn: "grade",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ChosenColumn != "grade" {
+		t.Fatalf("chosen column %q", res.Stats.ChosenColumn)
+	}
+	if res.Stats.Evaluations >= 3000 {
+		t.Fatalf("approx run evaluated everything (%d)", res.Stats.Evaluations)
+	}
+	// Verify metrics against ground truth.
+	totalCorrect := 0
+	for _, v := range truth {
+		if v {
+			totalCorrect++
+		}
+	}
+	correct := 0
+	for _, row := range res.Rows {
+		if truth[int64(row)] {
+			correct++
+		}
+	}
+	prec := float64(correct) / float64(len(res.Rows))
+	recall := float64(correct) / float64(totalCorrect)
+	if prec < 0.7 || recall < 0.7 {
+		t.Fatalf("metrics collapsed: precision %v recall %v", prec, recall)
+	}
+}
+
+func TestExecuteApproxDiscoversColumn(t *testing.T) {
+	e, _, _ := newTestEngine(t, 3000)
+	res, err := e.Execute(Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Approx: approx(0.8, 0.8, 0.8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// grade is the only informative low-cardinality column; purpose is
+	// noise. The scan must pick grade.
+	if res.Stats.ChosenColumn != "grade" {
+		t.Fatalf("discovered column %q, want grade", res.Stats.ChosenColumn)
+	}
+	if res.Stats.Evaluations >= 3000 {
+		t.Fatalf("no savings: %d evaluations", res.Stats.Evaluations)
+	}
+}
+
+func TestExecuteApproxVirtualColumn(t *testing.T) {
+	e, truth, _ := newTestEngine(t, 3000)
+	res, err := e.Execute(Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Approx: approx(0.8, 0.8, 0.8), GroupOn: VirtualColumn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ChosenColumn != VirtualColumn {
+		t.Fatalf("chosen column %q", res.Stats.ChosenColumn)
+	}
+	totalCorrect := 0
+	for _, v := range truth {
+		if v {
+			totalCorrect++
+		}
+	}
+	correct := 0
+	for _, row := range res.Rows {
+		if truth[int64(row)] {
+			correct++
+		}
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("virtual column produced empty output")
+	}
+	prec := float64(correct) / float64(len(res.Rows))
+	recall := float64(correct) / float64(totalCorrect)
+	if prec < 0.65 || recall < 0.65 {
+		t.Fatalf("virtual column metrics: precision %v recall %v", prec, recall)
+	}
+}
+
+func TestExecuteWantFalse(t *testing.T) {
+	e, truth, _ := newTestEngine(t, 900)
+	res, err := e.Execute(Query{Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if truth[int64(row)] {
+			t.Fatalf("want-false output contains true row %d", row)
+		}
+	}
+}
+
+func TestExecuteBudget(t *testing.T) {
+	e, _, _ := newTestEngine(t, 3000)
+	res, err := e.Execute(Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Approx: approx(0.8, 0.8, 0.8), GroupOn: "grade", Budget: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.AchievedRecallBound <= 0 || res.Stats.AchievedRecallBound > 1 {
+		t.Fatalf("achieved recall bound %v", res.Stats.AchievedRecallBound)
+	}
+	if res.Stats.Cost > 4000*1.1 {
+		t.Fatalf("cost %v blew the budget", res.Stats.Cost)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	e, _, _ := newTestEngine(t, 90)
+	cases := []Query{
+		{},
+		{Table: "nope", UDFName: "good_credit", UDFArg: "id", Want: true},
+		{Table: "loans", UDFName: "nope", UDFArg: "id", Want: true},
+		{Table: "loans", UDFName: "good_credit", UDFArg: "nope", Want: true},
+		{Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true, Columns: []string{"missing"}},
+		{Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true, Budget: 10},
+		{Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+			Approx: &Approx{Precision: 2, Recall: 0.5, Probability: 0.5}},
+		{Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+			Approx: approx(0.8, 0.8, 0.8), GroupOn: "missing"},
+	}
+	for i, q := range cases {
+		if _, err := e.Execute(q); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, q)
+		}
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	e := New(1)
+	tbl, _ := buildLoanTable(t, 9, 1)
+	if err := e.RegisterTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterTable(tbl); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if err := e.RegisterUDF(UDF{Name: "", Body: func(table.Value) bool { return true }}); err == nil {
+		t.Fatal("empty UDF name accepted")
+	}
+	if err := e.RegisterUDF(UDF{Name: "f"}); err == nil {
+		t.Fatal("nil UDF body accepted")
+	}
+	if err := e.RegisterUDF(UDF{Name: "f", Body: func(table.Value) bool { return true }, Cost: -1}); err == nil {
+		t.Fatal("negative UDF cost accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(UDF{Name: "f", Body: func(table.Value) bool { return true }}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("g"); err == nil {
+		t.Fatal("unknown UDF found")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "f" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestUDFCostOverride(t *testing.T) {
+	e, _, _ := newTestEngine(t, 90)
+	if err := e.RegisterUDF(UDF{
+		Name: "pricey",
+		Body: func(v table.Value) bool { return true },
+		Cost: 50,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cost := e.costModel(Query{UDFName: "pricey"})
+	if cost.Evaluate != 50 {
+		t.Fatalf("override cost %v", cost.Evaluate)
+	}
+	cost = e.costModel(Query{UDFName: "good_credit"})
+	if cost.Evaluate != core.DefaultCost.Evaluate {
+		t.Fatalf("default cost %v", cost.Evaluate)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	e, _, _ := newTestEngine(t, 300)
+	q := Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Columns: []string{"id", "grade"},
+	}
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Materialize(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != len(res.Rows) {
+		t.Fatalf("materialized %d rows, want %d", out.NumRows(), len(res.Rows))
+	}
+	if out.Schema().Len() != 2 || out.Schema().Col(1).Name != "grade" {
+		t.Fatalf("projection schema %s", out.Schema())
+	}
+}
+
+func TestExecuteSelectJoin(t *testing.T) {
+	e, truth, _ := newTestEngine(t, 1500)
+	// Orders table: grade-A customers appear many times.
+	schema := table.MustSchema(
+		table.ColumnDef{Name: "loan_id", Type: table.Int},
+	)
+	orders := table.New("orders", schema)
+	rng := stats.NewRNG(5)
+	for i := 0; i < 4000; i++ {
+		if err := orders.AppendRow(int64(rng.IntN(1500))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RegisterTable(orders); err != nil {
+		t.Fatal(err)
+	}
+	q := SelectJoinQuery{
+		Query: Query{
+			Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+			Approx: approx(0.7, 0.7, 0.8), GroupOn: "grade",
+		},
+		JoinTable: "orders", LeftKey: "id", RightKey: "loan_id",
+	}
+	res, err := e.ExecuteSelectJoin(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("join query returned nothing")
+	}
+	if res.Stats.Evaluations >= 1500 {
+		t.Fatalf("no savings: %d evaluations", res.Stats.Evaluations)
+	}
+	correct := 0
+	for _, row := range res.Rows {
+		if truth[int64(row)] {
+			correct++
+		}
+	}
+	if prec := float64(correct) / float64(len(res.Rows)); prec < 0.55 {
+		t.Fatalf("join precision %v", prec)
+	}
+}
+
+func TestExecuteSelectJoinErrors(t *testing.T) {
+	e, _, _ := newTestEngine(t, 90)
+	base := Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Approx: approx(0.8, 0.8, 0.8), GroupOn: "grade",
+	}
+	cases := []SelectJoinQuery{
+		{Query: Query{}},
+		{Query: base, JoinTable: "missing", LeftKey: "id", RightKey: "x"},
+		{Query: func() Query { q := base; q.Approx = nil; return q }(), JoinTable: "loans", LeftKey: "id", RightKey: "id"},
+		{Query: func() Query { q := base; q.GroupOn = ""; return q }(), JoinTable: "loans", LeftKey: "id", RightKey: "id"},
+		{Query: base, JoinTable: "loans", LeftKey: "missing", RightKey: "id"},
+		{Query: base, JoinTable: "loans", LeftKey: "id", RightKey: "missing"},
+	}
+	for i, q := range cases {
+		if _, err := e.ExecuteSelectJoin(q); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestJoinMultiplicities(t *testing.T) {
+	schema := table.MustSchema(table.ColumnDef{Name: "k", Type: table.String})
+	tbl := table.New("t", schema)
+	for _, k := range []string{"a", "a", "b"} {
+		if err := tbl.AppendRow(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mult, err := JoinMultiplicities(tbl, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mult["a"] != 2 || mult["b"] != 1 {
+		t.Fatalf("multiplicities %v", mult)
+	}
+	if _, err := JoinMultiplicities(tbl, "nope"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+}
+
+func TestEngineDeterministicAcrossSeeds(t *testing.T) {
+	run := func(seed uint64) int {
+		tbl, truth := buildLoanTable(t, 1200, 42)
+		e := New(seed)
+		if err := e.RegisterTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RegisterUDF(UDF{Name: "f", Body: func(v table.Value) bool { return truth[v.(int64)] }}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Execute(Query{
+			Table: "loans", UDFName: "f", UDFArg: "id", Want: true,
+			Approx: approx(0.8, 0.8, 0.8), GroupOn: "grade",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Evaluations
+	}
+	if run(3) != run(3) {
+		t.Fatal("same seed produced different executions")
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	good := Query{Table: "t", UDFName: "f", UDFArg: "c", Want: true}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	msg := func(q Query) string {
+		err := q.Validate()
+		if err == nil {
+			return ""
+		}
+		return err.Error()
+	}
+	if msg(Query{UDFName: "f", UDFArg: "c"}) == "" {
+		t.Fatal("missing table accepted")
+	}
+	if msg(Query{Table: "t"}) == "" {
+		t.Fatal("missing UDF accepted")
+	}
+	if msg(Query{Table: "t", UDFName: "f", UDFArg: "c", Budget: -1}) == "" {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestExecuteConjunction(t *testing.T) {
+	e, truth, _ := newTestEngine(t, 3000)
+	// Second predicate: high income (correlated with nothing in grade, a
+	// pure per-row property).
+	incomes, err := func() (*table.FloatColumn, error) {
+		tbl, err := e.Table("loans")
+		if err != nil {
+			return nil, err
+		}
+		return tbl.FloatColumn("income")
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterUDF(UDF{Name: "rich", Body: func(v table.Value) bool {
+		return v.(float64) > 80000
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		And:    &Conjunct{UDFName: "rich", UDFArg: "income", Want: true},
+		Approx: approx(0.75, 0.75, 0.8), GroupOn: "grade",
+	}
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Evaluations >= 2*3000 {
+		t.Fatalf("no savings: %d evaluations", res.Stats.Evaluations)
+	}
+	// Exact conjunction for reference.
+	qExact := q
+	qExact.Approx = nil
+	qExact.GroupOn = ""
+	exact, err := e.Execute(qExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet := map[int]bool{}
+	for _, r := range exact.Rows {
+		wantSet[r] = true
+	}
+	correct := 0
+	for _, r := range res.Rows {
+		if wantSet[r] {
+			correct++
+		}
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("empty conjunction output")
+	}
+	prec := float64(correct) / float64(len(res.Rows))
+	recall := float64(correct) / float64(len(exact.Rows))
+	if prec < 0.6 || recall < 0.6 {
+		t.Fatalf("conjunction metrics: precision %v recall %v", prec, recall)
+	}
+	_ = truth
+	_ = incomes
+}
+
+func TestExecuteConjunctionExactShortCircuits(t *testing.T) {
+	e, truth, calls := newTestEngine(t, 300)
+	calls2 := 0
+	if err := e.RegisterUDF(UDF{Name: "second", Body: func(v table.Value) bool {
+		calls2++
+		return v.(int64)%2 == 0
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		And: &Conjunct{UDFName: "second", UDFArg: "id", Want: true},
+	}
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTrue := 0
+	for _, v := range truth {
+		if v {
+			nTrue++
+		}
+	}
+	// f2 must only have been evaluated on f1 survivors.
+	if calls2 != nTrue {
+		t.Fatalf("second predicate called %d times, want %d", calls2, nTrue)
+	}
+	if *calls != 300 {
+		t.Fatalf("first predicate called %d times, want 300", *calls)
+	}
+	for _, r := range res.Rows {
+		if !truth[int64(r)] || r%2 != 0 {
+			t.Fatalf("row %d should not match conjunction", r)
+		}
+	}
+}
+
+func TestExecuteConjunctionValidation(t *testing.T) {
+	e, _, _ := newTestEngine(t, 90)
+	base := Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		And:    &Conjunct{UDFName: "good_credit", UDFArg: "id", Want: true},
+		Approx: approx(0.8, 0.8, 0.8),
+	}
+	if _, err := e.Execute(base); err == nil {
+		t.Fatal("conjunction without GROUP ON accepted")
+	}
+	bad := base
+	bad.And = &Conjunct{}
+	if _, err := e.Execute(bad); err == nil {
+		t.Fatal("empty conjunct accepted")
+	}
+	bad = base
+	bad.GroupOn = "grade"
+	bad.And = &Conjunct{UDFName: "missing", UDFArg: "id", Want: true}
+	if _, err := e.Execute(bad); err == nil {
+		t.Fatal("unknown second UDF accepted")
+	}
+	bad = base
+	bad.GroupOn = "grade"
+	bad.Budget = 100
+	if _, err := e.Execute(bad); err == nil {
+		t.Fatal("budget + conjunction accepted")
+	}
+}
+
+func TestUDFPanicSurfacesAsError(t *testing.T) {
+	e, truth, _ := newTestEngine(t, 300)
+	if err := e.RegisterUDF(UDF{Name: "explodes", Body: func(v table.Value) bool {
+		if v.(int64) == 7 {
+			panic("boom")
+		}
+		return truth[v.(int64)]
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Execute(Query{Table: "loans", UDFName: "explodes", UDFArg: "id", Want: true})
+	if err == nil {
+		t.Fatal("panicking UDF did not surface an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error %v does not mention the panic", err)
+	}
+	// The engine must survive: a subsequent healthy query still works.
+	res, err := e.Execute(Query{Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("engine broken after UDF panic")
+	}
+}
+
+func TestUDFPanicInApproximateQuery(t *testing.T) {
+	e, _, _ := newTestEngine(t, 900)
+	if err := e.RegisterUDF(UDF{Name: "flaky", Body: func(v table.Value) bool {
+		panic("always")
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Execute(Query{
+		Table: "loans", UDFName: "flaky", UDFArg: "id", Want: true,
+		Approx: approx(0.8, 0.8, 0.8), GroupOn: "grade",
+	})
+	if err == nil {
+		t.Fatal("panicking UDF in approximate query did not error")
+	}
+}
+
+func TestCheapFilterPushdownExact(t *testing.T) {
+	e, truth, calls := newTestEngine(t, 900)
+	res, err := e.Execute(Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Filters: []Filter{{Column: "grade", Value: "A"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only grade-A rows (ids ≡ 0 mod 3, 300 of them) are evaluated.
+	if *calls != 300 {
+		t.Fatalf("UDF called %d times, want 300", *calls)
+	}
+	for _, r := range res.Rows {
+		if r%3 != 0 {
+			t.Fatalf("non-A row %d in output", r)
+		}
+		if !truth[int64(r)] {
+			t.Fatalf("incorrect row %d in output", r)
+		}
+	}
+	if res.Stats.Retrievals != 300 {
+		t.Fatalf("retrievals %d, want 300", res.Stats.Retrievals)
+	}
+}
+
+func TestCheapFilterPushdownApprox(t *testing.T) {
+	e, _, _ := newTestEngine(t, 3000)
+	res, err := e.Execute(Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Approx:  approx(0.8, 0.8, 0.8),
+		Filters: []Filter{{Column: "purpose", Value: "car"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Table("loans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	purpose, err := tbl.StringColumn("purpose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	carRows := 0
+	for i := 0; i < tbl.NumRows(); i++ {
+		if purpose.At(i) == "car" {
+			carRows++
+		}
+	}
+	for _, r := range res.Rows {
+		if purpose.At(r) != "car" {
+			t.Fatalf("non-car row %d in output", r)
+		}
+	}
+	if res.Stats.Evaluations >= carRows {
+		t.Fatalf("no savings within the filtered subset: %d evals of %d rows",
+			res.Stats.Evaluations, carRows)
+	}
+}
+
+func TestCheapFilterErrors(t *testing.T) {
+	e, _, _ := newTestEngine(t, 90)
+	_, err := e.Execute(Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Filters: []Filter{{Column: "missing", Value: "x"}},
+	})
+	if err == nil {
+		t.Fatal("missing filter column accepted")
+	}
+}
+
+func TestCheapFilterEmptyResult(t *testing.T) {
+	e, _, _ := newTestEngine(t, 90)
+	res, err := e.Execute(Query{
+		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
+		Filters: []Filter{{Column: "grade", Value: "Z"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 || res.Stats.Evaluations != 0 {
+		t.Fatalf("empty filter produced %d rows, %d evals", len(res.Rows), res.Stats.Evaluations)
+	}
+}

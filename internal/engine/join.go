@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// SelectJoinQuery is the Section 5 "single predicate with join" extension:
+//
+//	SELECT * FROM T WHERE udf(arg) = 1 ... JOIN T2 ON T.LeftKey = T2.RightKey
+//
+// Tuples of T matching many T2 tuples count with that multiplicity in the
+// join result, so the optimizer prefers verifying them even at lower
+// selectivity.
+type SelectJoinQuery struct {
+	Query
+	JoinTable string
+	LeftKey   string
+	RightKey  string
+}
+
+// ExecuteSelectJoin plans per (group, join-key-weight-class) subgroups with
+// join-multiplicity weights and executes the resulting strategy. The
+// output rows are row ids of the base table (joined expansion is left to
+// the caller); guarantees are at the join-result level.
+func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Approx == nil {
+		return nil, fmt.Errorf("engine: select-join requires WITH PRECISION/RECALL/PROBABILITY")
+	}
+	if q.GroupOn == "" || q.GroupOn == VirtualColumn {
+		return nil, fmt.Errorf("engine: select-join requires an explicit GROUP ON column")
+	}
+	tbl, err := e.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	joinTbl, err := e.Table(q.JoinTable)
+	if err != nil {
+		return nil, err
+	}
+	leftCol := tbl.ColumnByName(q.LeftKey)
+	if leftCol == nil {
+		return nil, fmt.Errorf("engine: table %q has no column %q", q.Table, q.LeftKey)
+	}
+	rightCol := joinTbl.ColumnByName(q.RightKey)
+	if rightCol == nil {
+		return nil, fmt.Errorf("engine: table %q has no column %q", q.JoinTable, q.RightKey)
+	}
+	udf, fault, err := e.rowUDF(tbl, q.Query)
+	if err != nil {
+		return nil, err
+	}
+	meter := core.NewMeter(udf)
+	cost := e.costModel(q.Query)
+	cons := q.Approx.Constraints()
+	e.mu.Lock()
+	rng := e.rng.Split()
+	e.mu.Unlock()
+
+	// Join-key multiplicities from the join table.
+	mult := make(map[string]int)
+	for i := 0; i < joinTbl.NumRows(); i++ {
+		mult[rightCol.StringAt(i)]++
+	}
+
+	// Subgroups: (correlated value, join multiplicity) pairs, so tuples in
+	// one subgroup share both selectivity behaviour and weight.
+	subset, err := e.filterRows(tbl, q.Filters)
+	if err != nil {
+		return nil, err
+	}
+	base, err := groupsFromColumn(tbl, q.GroupOn, subset)
+	if err != nil {
+		return nil, err
+	}
+	type subKey struct {
+		group  int
+		weight int
+	}
+	sub := make(map[subKey][]int)
+	for gi, g := range base {
+		for _, row := range g.Rows {
+			w := mult[leftCol.StringAt(row)]
+			sub[subKey{gi, w}] = append(sub[subKey{gi, w}], row)
+		}
+	}
+	keys := make([]subKey, 0, len(sub))
+	for k := range sub {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].group != keys[b].group {
+			return keys[a].group < keys[b].group
+		}
+		return keys[a].weight < keys[b].weight
+	})
+
+	groups := make([]core.Group, len(keys))
+	for i, k := range keys {
+		groups[i] = core.Group{
+			Key:  fmt.Sprintf("%s/w%d", base[k.group].Key, k.weight),
+			Rows: sub[k],
+		}
+	}
+
+	// Estimate subgroup selectivities by sampling, then plan with weights.
+	sampler := core.NewSampler(groups, meter, rng.Split())
+	sizes := make([]int, len(groups))
+	for i, g := range groups {
+		sizes[i] = len(g.Rows)
+	}
+	if _, err := sampler.TopUp((core.TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}).Allocate(sizes)); err != nil {
+		return nil, err
+	}
+	infos := sampler.Infos()
+	joinGroups := make([]core.JoinGroup, len(keys))
+	for i, k := range keys {
+		joinGroups[i] = core.JoinGroup{
+			Size:        infos[i].Remaining(),
+			Selectivity: infos[i].Selectivity,
+			JoinWeight:  float64(k.weight),
+		}
+	}
+	strat, err := core.PlanSelectJoin(joinGroups, cons, cost)
+	if err != nil {
+		return nil, err
+	}
+	// The strategy covers remaining tuples; execute over the groups with
+	// the sampler's outcomes honored.
+	exec, err := core.Execute(groups, strat, sampler.Outcomes(), meter, cost, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(exec.Output)
+	if fault.Err() != nil {
+		return nil, fault.Err()
+	}
+	sampled := sampler.TotalSampled()
+	retrievals := sampled + exec.Retrieved
+	return &Result{
+		Rows: exec.Output,
+		Stats: Stats{
+			Evaluations:  meter.Calls(),
+			Retrievals:   retrievals,
+			Cost:         float64(meter.Calls())*cost.Evaluate + float64(retrievals)*cost.Retrieve,
+			ChosenColumn: q.GroupOn,
+			Sampled:      sampled,
+		},
+	}, nil
+}
+
+// JoinMultiplicities is a helper exposing the per-key match counts of a
+// join table (used by examples and tests).
+func JoinMultiplicities(joinTbl *table.Table, key string) (map[string]int, error) {
+	col := joinTbl.ColumnByName(key)
+	if col == nil {
+		return nil, fmt.Errorf("engine: table %q has no column %q", joinTbl.Name(), key)
+	}
+	mult := make(map[string]int)
+	for i := 0; i < joinTbl.NumRows(); i++ {
+		mult[col.StringAt(i)]++
+	}
+	return mult, nil
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Approx carries the accuracy contract of an approximate query.
+type Approx struct {
+	Precision   float64 // α
+	Recall      float64 // β
+	Probability float64 // ρ
+}
+
+// Constraints converts to the core representation.
+func (a Approx) Constraints() core.Constraints {
+	return core.Constraints{Alpha: a.Precision, Beta: a.Recall, Rho: a.Probability}
+}
+
+// Query is the engine's logical plan for
+//
+//	SELECT cols FROM table WHERE udf(arg) = want
+//	[WITH PRECISION α RECALL β PROBABILITY ρ] [GROUP ON col] [BUDGET b]
+type Query struct {
+	// Table to select from.
+	Table string
+	// Columns to project; empty or ["*"] means all.
+	Columns []string
+	// UDFName / UDFArg form the predicate UDFName(UDFArg) = Want.
+	UDFName string
+	UDFArg  string
+	// Want is the required predicate outcome (true for "= 1").
+	Want bool
+	// Approx, when non-nil, allows approximate evaluation; nil demands the
+	// exact answer (evaluate every tuple).
+	Approx *Approx
+	// GroupOn optionally pins the correlated column; empty lets the engine
+	// discover one (Section 4.4), and the special value "virtual" requests
+	// the logistic-regression virtual column of Section 6.3.2.
+	GroupOn string
+	// Budget, when positive, switches to the fixed-budget objective:
+	// maximize recall subject to the precision bound and cost ≤ Budget.
+	Budget float64
+	// And, when non-nil, adds a second expensive predicate (a conjunction,
+	// Section 5): AND And.UDFName(And.UDFArg) = And.Want. Conjunctions
+	// require Approx and an explicit GroupOn column.
+	And *Conjunct
+	// Filters are cheap equality predicates evaluated before any UDF work.
+	Filters []Filter
+}
+
+// Conjunct is the second predicate of a two-UDF conjunction.
+type Conjunct struct {
+	UDFName string
+	UDFArg  string
+	Want    bool
+}
+
+// Filter is a cheap (non-UDF) equality predicate. Per Section 5, cheap
+// predicates execute first: the engine scans the column store, keeps only
+// matching rows, and runs the expensive-predicate machinery on that
+// subset. Values compare against the canonical string rendering of the
+// cell (so "42", "42.5" and "A" all work).
+type Filter struct {
+	Column string
+	Value  string
+}
+
+// Validate performs static checks (table/UDF existence is checked at
+// execution time).
+func (q Query) Validate() error {
+	if q.Table == "" {
+		return fmt.Errorf("engine: query without table")
+	}
+	if q.UDFName == "" || q.UDFArg == "" {
+		return fmt.Errorf("engine: query without UDF predicate")
+	}
+	if q.Approx != nil {
+		c := q.Approx.Constraints()
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if q.Budget < 0 {
+		return fmt.Errorf("engine: negative budget %v", q.Budget)
+	}
+	if q.Budget > 0 && q.Approx == nil {
+		return fmt.Errorf("engine: BUDGET requires WITH PRECISION/RECALL/PROBABILITY")
+	}
+	if q.And != nil {
+		if q.And.UDFName == "" || q.And.UDFArg == "" {
+			return fmt.Errorf("engine: empty AND predicate")
+		}
+		if q.Budget > 0 {
+			return fmt.Errorf("engine: BUDGET is not supported with AND conjunctions")
+		}
+	}
+	return nil
+}
+
+// Stats reports how a query execution spent its budget.
+type Stats struct {
+	// Evaluations is the number of UDF invocations (sampling + execution).
+	Evaluations int
+	// Retrievals is the number of tuples fetched.
+	Retrievals int
+	// Cost is o_r·Retrievals + o_e·Evaluations.
+	Cost float64
+	// ChosenColumn is the correlated column the optimizer used ("" for
+	// exact execution).
+	ChosenColumn string
+	// Sampled is the number of tuples evaluated during estimation.
+	Sampled int
+	// Exact reports whether the query ran without approximation.
+	Exact bool
+	// AchievedRecallBound is set for budget queries: the recall bound the
+	// planner could afford.
+	AchievedRecallBound float64
+}
+
+// Result is a query's output: the matching row ids of the base table (so
+// callers can project whatever they need) plus execution statistics.
+type Result struct {
+	Rows  []int
+	Stats Stats
+}

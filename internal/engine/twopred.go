@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// Conjunctions of two expensive predicates (Section 5): the engine samples
+// both UDFs per group, estimates joint selectivities, and plans one of five
+// actions per group (discard / assume both / evaluate either / evaluate
+// both with short-circuit).
+
+// executeTwoPred handles queries with an AND conjunction.
+func (e *Engine) executeTwoPred(tbl *table.Table, q Query, cost core.CostModel, subset []int) (*Result, error) {
+	if q.Approx == nil {
+		// Exact conjunction: evaluate f1 on everything, f2 on survivors.
+		return e.executeTwoPredExact(tbl, q, cost, subset)
+	}
+	if q.GroupOn == "" || q.GroupOn == VirtualColumn {
+		return nil, fmt.Errorf("engine: AND conjunctions require an explicit GROUP ON column")
+	}
+	udf1, fault1, err := e.rowUDF(tbl, q)
+	if err != nil {
+		return nil, err
+	}
+	udf2, fault2, err := e.rowUDF(tbl, Query{
+		Table: q.Table, UDFName: q.And.UDFName, UDFArg: q.And.UDFArg, Want: q.And.Want,
+	})
+	if err != nil {
+		return nil, err
+	}
+	groups, err := groupsFromColumn(tbl, q.GroupOn, subset)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	rng := e.rng.Split()
+	e.mu.Unlock()
+
+	m1 := core.NewMeter(udf1)
+	m2 := core.NewMeter(udf2)
+	res, _, err := core.RunTwoPredicates(groups, m1, m2, q.Approx.Constraints(), cost, nil, rng)
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(res.Output)
+	if fault1.Err() != nil {
+		return nil, fault1.Err()
+	}
+	if fault2.Err() != nil {
+		return nil, fault2.Err()
+	}
+	return &Result{
+		Rows: res.Output,
+		Stats: Stats{
+			Evaluations:  m1.Calls() + m2.Calls(),
+			Retrievals:   res.Retrieved,
+			Cost:         res.Cost,
+			ChosenColumn: q.GroupOn,
+			Sampled:      m1.Calls() + m2.Calls() - res.Evaluated1 - res.Evaluated2,
+		},
+	}, nil
+}
+
+func (e *Engine) executeTwoPredExact(tbl *table.Table, q Query, cost core.CostModel, subset []int) (*Result, error) {
+	udf1, fault1, err := e.rowUDF(tbl, q)
+	if err != nil {
+		return nil, err
+	}
+	udf2, fault2, err := e.rowUDF(tbl, Query{
+		Table: q.Table, UDFName: q.And.UDFName, UDFArg: q.And.UDFArg, Want: q.And.Want,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m1 := core.NewMeter(udf1)
+	m2 := core.NewMeter(udf2)
+	scan := universe(tbl, subset)
+	var rows []int
+	for _, i := range scan {
+		if m1.Eval(i) && m2.Eval(i) {
+			rows = append(rows, i)
+		}
+	}
+	n := len(scan)
+	if fault1.Err() != nil {
+		return nil, fault1.Err()
+	}
+	if fault2.Err() != nil {
+		return nil, fault2.Err()
+	}
+	evals := m1.Calls() + m2.Calls()
+	return &Result{
+		Rows: rows,
+		Stats: Stats{
+			Evaluations: evals,
+			Retrievals:  n,
+			Cost:        float64(n)*cost.Retrieve + float64(evals)*cost.Evaluate,
+			Exact:       true,
+		},
+	}, nil
+}

@@ -1,0 +1,118 @@
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// Encoder turns table rows into feature vectors: numeric columns pass
+// through, categorical (string) columns are one-hot encoded. Columns with
+// too many distinct values are skipped, mirroring the paper's "numeric or
+// nominal with < 50 different values" rule for the logistic-regression
+// virtual column.
+type Encoder struct {
+	// MaxCardinality is the one-hot cutoff for string columns (default 50).
+	MaxCardinality int
+	// Exclude lists column names to skip (e.g. the hidden label column and
+	// row ids).
+	Exclude []string
+
+	cols []encodedColumn
+	dim  int
+}
+
+type encodedColumn struct {
+	name    string
+	colIdx  int
+	numeric bool // float or int pass-through
+	isInt   bool // source is an int column
+	offset  int  // first feature index
+	codes   int  // one-hot width for string columns
+	strCol  *table.StringColumn
+}
+
+// BuildEncoder inspects the table and fixes the feature layout.
+func BuildEncoder(tbl *table.Table, opts Encoder) (*Encoder, error) {
+	e := &opts
+	if e.MaxCardinality <= 0 {
+		e.MaxCardinality = 50
+	}
+	excluded := make(map[string]bool, len(e.Exclude))
+	for _, name := range e.Exclude {
+		excluded[name] = true
+	}
+	offset := 0
+	for i := 0; i < tbl.Schema().Len(); i++ {
+		def := tbl.Schema().Col(i)
+		if excluded[def.Name] {
+			continue
+		}
+		switch def.Type {
+		case table.Float:
+			e.cols = append(e.cols, encodedColumn{name: def.Name, colIdx: i, numeric: true, offset: offset})
+			offset++
+		case table.Int:
+			e.cols = append(e.cols, encodedColumn{name: def.Name, colIdx: i, numeric: true, isInt: true, offset: offset})
+			offset++
+		case table.String:
+			sc, err := tbl.StringColumn(def.Name)
+			if err != nil {
+				return nil, err
+			}
+			card := sc.Cardinality()
+			if card >= e.MaxCardinality || card < 2 {
+				continue // too wide (overfitting risk) or constant
+			}
+			e.cols = append(e.cols, encodedColumn{
+				name: def.Name, colIdx: i, offset: offset, codes: card, strCol: sc,
+			})
+			offset += card
+		}
+	}
+	if offset == 0 {
+		return nil, fmt.Errorf("ml: no encodable columns in table %s", tbl.Name())
+	}
+	e.dim = offset
+	return e, nil
+}
+
+// Dim returns the feature-vector width.
+func (e *Encoder) Dim() int { return e.dim }
+
+// Columns returns the names of the encoded source columns, in order.
+func (e *Encoder) Columns() []string {
+	names := make([]string, len(e.cols))
+	for i, c := range e.cols {
+		names[i] = c.name
+	}
+	return names
+}
+
+// EncodeRow writes the features of row i into a fresh vector.
+func (e *Encoder) EncodeRow(tbl *table.Table, row int) []float64 {
+	out := make([]float64, e.dim)
+	for _, c := range e.cols {
+		switch {
+		case c.numeric && c.isInt:
+			ic := tbl.Column(c.colIdx).(*table.IntColumn)
+			out[c.offset] = float64(ic.At(row))
+		case c.numeric:
+			fc := tbl.Column(c.colIdx).(*table.FloatColumn)
+			out[c.offset] = fc.At(row)
+		default:
+			out[c.offset+c.strCol.Code(row)] = 1
+		}
+	}
+	return out
+}
+
+// EncodeAll materializes the full feature matrix.
+func (e *Encoder) EncodeAll(tbl *table.Table) [][]float64 {
+	n := tbl.NumRows()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = e.EncodeRow(tbl, i)
+	}
+	return out
+}

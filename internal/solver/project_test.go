@@ -1,0 +1,101 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func inTriangle(r, e float64) bool {
+	return e >= -1e-12 && r >= e-1e-12 && r <= 1+1e-12
+}
+
+func TestProjectPairFixedPoints(t *testing.T) {
+	for _, tc := range [][2]float64{{0, 0}, {1, 1}, {1, 0}, {0.5, 0.25}, {0.7, 0.7}} {
+		r, e := ProjectPair(tc[0], tc[1])
+		if r != tc[0] || e != tc[1] {
+			t.Fatalf("feasible point (%v,%v) moved to (%v,%v)", tc[0], tc[1], r, e)
+		}
+	}
+}
+
+func TestProjectPairExamples(t *testing.T) {
+	cases := []struct{ r, e, wantR, wantE float64 }{
+		{2, 0.5, 1, 0.5},     // clamp R
+		{-1, -1, 0, 0},       // clamp both
+		{0.2, 0.8, 0.5, 0.5}, // project onto diagonal
+		{2, 2, 1, 1},         // diagonal then clamp
+		{0.5, -0.3, 0.5, 0},  // clamp E only
+		{-0.5, 0.5, 0, 0},    // diagonal midpoint is (0,0)
+	}
+	for _, c := range cases {
+		r, e := ProjectPair(c.r, c.e)
+		if math.Abs(r-c.wantR) > 1e-12 || math.Abs(e-c.wantE) > 1e-12 {
+			t.Fatalf("ProjectPair(%v,%v) = (%v,%v), want (%v,%v)", c.r, c.e, r, e, c.wantR, c.wantE)
+		}
+	}
+}
+
+func TestProjectPairInSetAndIdempotent(t *testing.T) {
+	f := func(rRaw, eRaw float64) bool {
+		r0 := math.Mod(rRaw, 5)
+		e0 := math.Mod(eRaw, 5)
+		r, e := ProjectPair(r0, e0)
+		if !inTriangle(r, e) {
+			return false
+		}
+		r2, e2 := ProjectPair(r, e)
+		return math.Abs(r2-r) < 1e-12 && math.Abs(e2-e) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectPairIsNearestPoint(t *testing.T) {
+	// Compare against a dense grid search over the triangle.
+	f := func(rRaw, eRaw float64) bool {
+		p := [2]float64{math.Mod(rRaw, 3), math.Mod(eRaw, 3)}
+		pr, pe := ProjectPair(p[0], p[1])
+		got := (pr-p[0])*(pr-p[0]) + (pe-p[1])*(pe-p[1])
+		best := math.Inf(1)
+		const grid = 60
+		for i := 0; i <= grid; i++ {
+			r := float64(i) / grid
+			for j := 0; j <= i; j++ {
+				e := float64(j) / grid
+				d := (r-p[0])*(r-p[0]) + (e-p[1])*(e-p[1])
+				if d < best {
+					best = d
+				}
+			}
+		}
+		// The grid is coarse; allow its resolution as slack.
+		return got <= best+2.0/grid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectBox(t *testing.T) {
+	x := []float64{-1, 0.5, 9}
+	ProjectBox(x, []float64{0, 0, 0}, []float64{1, 1, 1})
+	want := []float64{0, 0.5, 1}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("ProjectBox got %v want %v", x, want)
+		}
+	}
+}
+
+func TestProjectStrategy(t *testing.T) {
+	x := []float64{2, 0.5, 0.2, 0.8, -1, -1}
+	ProjectStrategy(x)
+	want := []float64{1, 0.5, 0.5, 0.5, 0, 0}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("ProjectStrategy got %v want %v", x, want)
+		}
+	}
+}

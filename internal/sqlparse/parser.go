@@ -1,0 +1,361 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// JoinSpec is the optional JOIN clause of a statement.
+type JoinSpec struct {
+	Table    string
+	LeftKey  string
+	RightKey string
+}
+
+// Statement is a parsed query: the engine's logical plan plus the optional
+// join clause.
+type Statement struct {
+	Query engine.Query
+	Join  *JoinSpec
+}
+
+// SelectJoin assembles the engine's select-join form; valid only when a
+// JOIN clause is present.
+func (s *Statement) SelectJoin() (engine.SelectJoinQuery, error) {
+	if s.Join == nil {
+		return engine.SelectJoinQuery{}, fmt.Errorf("sqlparse: statement has no JOIN clause")
+	}
+	return engine.SelectJoinQuery{
+		Query:     s.Query,
+		JoinTable: s.Join.Table,
+		LeftKey:   s.Join.LeftKey,
+		RightKey:  s.Join.RightKey,
+	}, nil
+}
+
+// DefaultBound is the value used for WITH-clause bounds the user omits.
+const DefaultBound = 0.9
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one statement of the engine's SQL dialect.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: unexpected %s after statement", p.peek())
+	}
+	if err := stmt.Query.Validate(); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !isKeyword(t, kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("sqlparse: expected %q, got %s", sym, t)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlparse: expected identifier, got %s", t)
+	}
+	return t.text, nil
+}
+
+// qualifiedIdent parses ident or ident.ident and returns the final part.
+func (p *parser) qualifiedIdent() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	for p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.next()
+		name, err = p.ident()
+		if err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("sqlparse: expected number, got %s", t)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sqlparse: bad number %q: %v", t.text, err)
+	}
+	return v, nil
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	stmt := &Statement{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	cols, err := p.parseColumns()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Query.Columns = cols
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	stmt.Query.Table, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+
+	if isKeyword(p.peek(), "JOIN") {
+		p.next()
+		join := &JoinSpec{}
+		join.Table, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		join.LeftKey, err = p.qualifiedIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		join.RightKey, err = p.qualifiedIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Join = join
+	}
+
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	if err := p.parseWhere(stmt); err != nil {
+		return nil, err
+	}
+
+	for {
+		switch {
+		case isKeyword(p.peek(), "WITH"):
+			p.next()
+			if stmt.Query.Approx != nil {
+				return nil, fmt.Errorf("sqlparse: duplicate WITH clause")
+			}
+			approx, err := p.parseWith()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Query.Approx = approx
+		case isKeyword(p.peek(), "GROUP"):
+			p.next()
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			if stmt.Query.GroupOn != "" {
+				return nil, fmt.Errorf("sqlparse: duplicate GROUP ON clause")
+			}
+			stmt.Query.GroupOn, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		case isKeyword(p.peek(), "BUDGET"):
+			p.next()
+			if stmt.Query.Budget != 0 {
+				return nil, fmt.Errorf("sqlparse: duplicate BUDGET clause")
+			}
+			stmt.Query.Budget, err = p.number()
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return stmt, nil
+		}
+	}
+}
+
+// parseWhere parses a conjunction of predicates: expensive UDF predicates
+// `udf(col) = 0|1` (at most two — the engine's conjunction limit) and
+// cheap equality filters `col = literal` (any number; the engine pushes
+// these down and evaluates them first, per Section 5).
+func (p *parser) parseWhere(stmt *Statement) error {
+	udfCount := 0
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if p.peek().kind == tokSymbol && p.peek().text == "(" {
+			// UDF predicate.
+			p.next()
+			arg, err := p.qualifiedIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return err
+			}
+			if err := p.expectSymbol("="); err != nil {
+				return err
+			}
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			var want bool
+			switch v {
+			case 0:
+				want = false
+			case 1:
+				want = true
+			default:
+				return fmt.Errorf("sqlparse: UDF comparison must be = 0 or = 1, got %v", v)
+			}
+			switch udfCount {
+			case 0:
+				stmt.Query.UDFName, stmt.Query.UDFArg, stmt.Query.Want = name, arg, want
+			case 1:
+				stmt.Query.And = &engine.Conjunct{UDFName: name, UDFArg: arg, Want: want}
+			default:
+				return fmt.Errorf("sqlparse: at most two UDF predicates are supported")
+			}
+			udfCount++
+		} else {
+			// Cheap equality filter: col [= literal].
+			col := name
+			for p.peek().kind == tokSymbol && p.peek().text == "." {
+				p.next()
+				col, err = p.ident()
+				if err != nil {
+					return err
+				}
+			}
+			if err := p.expectSymbol("="); err != nil {
+				return err
+			}
+			val, err := p.literal()
+			if err != nil {
+				return err
+			}
+			stmt.Query.Filters = append(stmt.Query.Filters, engine.Filter{Column: col, Value: val})
+		}
+		if !isKeyword(p.peek(), "AND") {
+			break
+		}
+		p.next()
+	}
+	if udfCount == 0 {
+		return fmt.Errorf("sqlparse: WHERE clause needs a UDF predicate")
+	}
+	return nil
+}
+
+// literal parses a filter value: a number, a quoted string, or a bare
+// identifier (treated as a string value).
+func (p *parser) literal() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber, tokString, tokIdent:
+		return t.text, nil
+	default:
+		return "", fmt.Errorf("sqlparse: expected literal, got %s", t)
+	}
+}
+
+func (p *parser) parseColumns() ([]string, error) {
+	if p.peek().kind == tokSymbol && p.peek().text == "*" {
+		p.next()
+		return nil, nil
+	}
+	var cols []string
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, name)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		return cols, nil
+	}
+}
+
+func (p *parser) parseWith() (*engine.Approx, error) {
+	approx := &engine.Approx{Precision: DefaultBound, Recall: DefaultBound, Probability: DefaultBound}
+	seen := map[string]bool{}
+	found := false
+	for {
+		var field *float64
+		switch {
+		case isKeyword(p.peek(), "PRECISION"):
+			field = &approx.Precision
+		case isKeyword(p.peek(), "RECALL"):
+			field = &approx.Recall
+		case isKeyword(p.peek(), "PROBABILITY"):
+			field = &approx.Probability
+		default:
+			if !found {
+				return nil, fmt.Errorf("sqlparse: WITH requires at least one of PRECISION, RECALL, PROBABILITY")
+			}
+			return approx, nil
+		}
+		kw := strings.ToUpper(p.next().text)
+		if seen[kw] {
+			return nil, fmt.Errorf("sqlparse: duplicate %s in WITH clause", kw)
+		}
+		seen[kw] = true
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		*field = v
+		found = true
+	}
+}

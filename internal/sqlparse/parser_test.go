@@ -1,0 +1,275 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM loans WHERE good_credit(id) = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stmt.Query
+	if q.Table != "loans" || q.UDFName != "good_credit" || q.UDFArg != "id" || !q.Want {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.Approx != nil || q.GroupOn != "" || q.Budget != 0 || stmt.Join != nil {
+		t.Fatalf("unexpected clauses: %+v", q)
+	}
+	if len(q.Columns) != 0 {
+		t.Fatalf("columns %v", q.Columns)
+	}
+}
+
+func TestParseFullClause(t *testing.T) {
+	stmt, err := Parse(`select id, grade from loans
+		where good_credit(id) = 1
+		with precision 0.85 recall 0.75 probability 0.9
+		group on grade budget 5000;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stmt.Query
+	if len(q.Columns) != 2 || q.Columns[0] != "id" || q.Columns[1] != "grade" {
+		t.Fatalf("columns %v", q.Columns)
+	}
+	if q.Approx == nil {
+		t.Fatal("missing approx")
+	}
+	if q.Approx.Precision != 0.85 || q.Approx.Recall != 0.75 || q.Approx.Probability != 0.9 {
+		t.Fatalf("approx %+v", q.Approx)
+	}
+	if q.GroupOn != "grade" || q.Budget != 5000 {
+		t.Fatalf("clauses %+v", q)
+	}
+}
+
+func TestParseWithDefaults(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE f(x) = 1 WITH RECALL 0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stmt.Query.Approx
+	if a == nil || a.Recall != 0.7 || a.Precision != DefaultBound || a.Probability != DefaultBound {
+		t.Fatalf("approx %+v", a)
+	}
+}
+
+func TestParseWithClausesAnyOrder(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE f(x) = 1 WITH PROBABILITY 0.99 PRECISION 0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stmt.Query.Approx
+	if a.Probability != 0.99 || a.Precision != 0.6 || a.Recall != DefaultBound {
+		t.Fatalf("approx %+v", a)
+	}
+}
+
+func TestParseWantZero(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE f(x) = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Query.Want {
+		t.Fatal("want should be false")
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM loans JOIN orders ON loans.id = orders.loan_id WHERE f(id) = 1 WITH RECALL 0.8 GROUP ON grade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Join == nil {
+		t.Fatal("join missing")
+	}
+	if stmt.Join.Table != "orders" || stmt.Join.LeftKey != "id" || stmt.Join.RightKey != "loan_id" {
+		t.Fatalf("join %+v", stmt.Join)
+	}
+	sj, err := stmt.SelectJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.JoinTable != "orders" {
+		t.Fatalf("select-join %+v", sj)
+	}
+}
+
+func TestSelectJoinWithoutJoin(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE f(x) = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.SelectJoin(); err == nil {
+		t.Fatal("SelectJoin without JOIN accepted")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	stmt, err := Parse("sElEcT * fRoM t wHeRe f(x) = 1 wItH pReCiSiOn 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Query.Approx.Precision != 0.5 {
+		t.Fatalf("approx %+v", stmt.Query.Approx)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE f = 1",
+		"SELECT * FROM t WHERE f(x) = 2",
+		"SELECT * FROM t WHERE f(x) = 1 WITH",
+		"SELECT * FROM t WHERE f(x) = 1 WITH PRECISION",
+		"SELECT * FROM t WHERE f(x) = 1 WITH PRECISION 0.5 PRECISION 0.6",
+		"SELECT * FROM t WHERE f(x) = 1 GROUP grade",
+		"SELECT * FROM t WHERE f(x) = 1 BUDGET",
+		"SELECT * FROM t WHERE f(x) = 1 BUDGET 10", // budget without WITH
+		"SELECT * FROM t WHERE f(x) = 1 trailing garbage",
+		"SELECT * FROM t WHERE f(x) = 1 WITH PRECISION 1.5", // invalid bound
+		"SELECT * FROM t JOIN WHERE f(x) = 1",
+		"SELECT ,* FROM t WHERE f(x) = 1",
+		"SELECT * FROM t WHERE f(x) @ 1",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Fatalf("accepted: %s", sql)
+		}
+	}
+}
+
+func TestParseDuplicateClauses(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM t WHERE f(x) = 1 WITH PRECISION 0.5 WITH RECALL 0.5",
+		"SELECT * FROM t WHERE f(x) = 1 GROUP ON a GROUP ON b",
+		"SELECT * FROM t WHERE f(x) = 1 WITH RECALL 0.5 BUDGET 10 BUDGET 20",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Fatalf("accepted: %s", sql)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT # FROM"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex("0.85 42 7.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "0.85" || toks[1].text != "42" || toks[2].text != "7." {
+		t.Fatalf("tokens %v", toks)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, err := lex("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(toks[0].String(), "x") {
+		t.Fatalf("token string %s", toks[0])
+	}
+	if toks[1].String() != "end of input" {
+		t.Fatalf("eof string %s", toks[1])
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	stmt, err := Parse(`SELECT * FROM posts WHERE relevant(id) = 1 AND safe(id) = 1
+		WITH PRECISION 0.8 RECALL 0.8 PROBABILITY 0.8 GROUP ON topic`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := stmt.Query.And
+	if and == nil || and.UDFName != "safe" || and.UDFArg != "id" || !and.Want {
+		t.Fatalf("conjunct %+v", and)
+	}
+	if stmt.Query.UDFName != "relevant" {
+		t.Fatalf("primary %+v", stmt.Query)
+	}
+}
+
+func TestParseConjunctionWantZero(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE f(x) = 1 AND g(y) = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Query.And == nil || stmt.Query.And.Want {
+		t.Fatalf("conjunct %+v", stmt.Query.And)
+	}
+}
+
+func TestParseConjunctionErrors(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM t WHERE f(x) = 1 AND",
+		"SELECT * FROM t WHERE f(x) = 1 AND g =", // filter without literal
+		"SELECT * FROM t WHERE f(x) = 1 AND g(y) = 3",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Fatalf("accepted: %s", sql)
+		}
+	}
+}
+
+func TestParseCheapFilters(t *testing.T) {
+	stmt, err := Parse(`SELECT * FROM loans WHERE grade = 'A' AND good_credit(id) = 1
+		AND purpose = car AND amount = 5000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stmt.Query
+	if q.UDFName != "good_credit" {
+		t.Fatalf("primary UDF %q", q.UDFName)
+	}
+	if len(q.Filters) != 3 {
+		t.Fatalf("filters %+v", q.Filters)
+	}
+	want := []struct{ col, val string }{{"grade", "A"}, {"purpose", "car"}, {"amount", "5000"}}
+	for i, w := range want {
+		if q.Filters[i].Column != w.col || q.Filters[i].Value != w.val {
+			t.Fatalf("filter %d = %+v, want %+v", i, q.Filters[i], w)
+		}
+	}
+}
+
+func TestParseFilterOnlyWhereRejected(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t WHERE grade = 'A'"); err == nil {
+		t.Fatal("WHERE without a UDF predicate accepted")
+	}
+}
+
+func TestParseThreeUDFsRejected(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t WHERE f(x) = 1 AND g(y) = 1 AND h(z) = 1"); err == nil {
+		t.Fatal("three UDF predicates accepted")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := lex("'hello world' 'a'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokString || toks[0].text != "hello world" {
+		t.Fatalf("token %+v", toks[0])
+	}
+	if toks[1].text != "a" {
+		t.Fatalf("token %+v", toks[1])
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV loads a table from CSV. The first record is the header. Column
+// types are inferred from the data: a column is Int if every value parses
+// as an integer, Float if every value parses as a number, else String.
+// Empty files (no header) are an error.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: csv %q has no header", name)
+	}
+	header := records[0]
+	body := records[1:]
+	types := inferTypes(header, body)
+	defs := make([]ColumnDef, len(header))
+	for i, h := range header {
+		defs[i] = ColumnDef{Name: h, Type: types[i]}
+	}
+	schema, err := NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+	tbl := New(name, schema)
+	for rowIdx, rec := range body {
+		vals := make([]Value, len(rec))
+		for i, cell := range rec {
+			switch types[i] {
+			case Int:
+				v, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: csv row %d col %q: %w", rowIdx+2, header[i], err)
+				}
+				vals[i] = v
+			case Float:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: csv row %d col %q: %w", rowIdx+2, header[i], err)
+				}
+				vals[i] = v
+			default:
+				vals[i] = cell
+			}
+		}
+		if err := tbl.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+func inferTypes(header []string, body [][]string) []Type {
+	types := make([]Type, len(header))
+	for i := range types {
+		allInt, allFloat := true, true
+		for _, rec := range body {
+			if i >= len(rec) {
+				continue
+			}
+			cell := rec[i]
+			if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+				allInt = false
+			}
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				allFloat = false
+			}
+			if !allInt && !allFloat {
+				break
+			}
+		}
+		switch {
+		case len(body) == 0:
+			types[i] = String
+		case allInt:
+			types[i] = Int
+		case allFloat:
+			types[i] = Float
+		default:
+			types[i] = String
+		}
+	}
+	return types
+}
+
+// WriteCSV writes the table (header + all rows) to w.
+func WriteCSV(tbl *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(tbl.Schema().Names()); err != nil {
+		return fmt.Errorf("table: writing csv header: %w", err)
+	}
+	rec := make([]string, tbl.Schema().Len())
+	for i := 0; i < tbl.NumRows(); i++ {
+		for j := range rec {
+			rec[j] = tbl.CellString(i, j)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,68 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupIndex partitions a table's rows by the distinct values of one
+// column — the "groups" of Section 2 of the paper. The cost model assumes
+// an index on the correlated attribute so examined tuples are reachable at
+// constant cost; this is that index.
+type GroupIndex struct {
+	column string
+	keys   []string         // distinct values, sorted for determinism
+	rows   map[string][]int // value → row ids (ascending)
+}
+
+// BuildGroupIndex indexes tbl on the named column. Any column type works;
+// values are keyed by their canonical string rendering.
+func BuildGroupIndex(tbl *Table, column string) (*GroupIndex, error) {
+	col := tbl.ColumnByName(column)
+	if col == nil {
+		return nil, fmt.Errorf("table %s: no column %q to index", tbl.Name(), column)
+	}
+	idx := &GroupIndex{column: column, rows: make(map[string][]int)}
+	for i := 0; i < tbl.NumRows(); i++ {
+		k := col.StringAt(i)
+		idx.rows[k] = append(idx.rows[k], i)
+	}
+	idx.keys = make([]string, 0, len(idx.rows))
+	for k := range idx.rows {
+		idx.keys = append(idx.keys, k)
+	}
+	sort.Strings(idx.keys)
+	return idx, nil
+}
+
+// Column returns the indexed column name.
+func (g *GroupIndex) Column() string { return g.column }
+
+// NumGroups returns the number of distinct values.
+func (g *GroupIndex) NumGroups() int { return len(g.keys) }
+
+// Keys returns the distinct values in sorted order. The slice is shared;
+// callers must not modify it.
+func (g *GroupIndex) Keys() []string { return g.keys }
+
+// Rows returns the row ids holding value key. The slice is shared; callers
+// must not modify it.
+func (g *GroupIndex) Rows(key string) []int { return g.rows[key] }
+
+// GroupSizes returns the tuple count per group, aligned with Keys().
+func (g *GroupIndex) GroupSizes() []int {
+	sizes := make([]int, len(g.keys))
+	for i, k := range g.keys {
+		sizes[i] = len(g.rows[k])
+	}
+	return sizes
+}
+
+// TotalRows returns the number of indexed rows.
+func (g *GroupIndex) TotalRows() int {
+	total := 0
+	for _, k := range g.keys {
+		total += len(g.rows[k])
+	}
+	return total
+}

@@ -1,0 +1,107 @@
+// Package table implements the small in-memory column store the query
+// engine and the experiment harness run against: typed schemas, columnar
+// storage for int/float/string attributes, a value (group) index over
+// categorical columns, and CSV import/export.
+//
+// The paper's algorithms never mutate base data; tables here are
+// append-only and safe for concurrent reads once loaded.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type enumerates supported column types.
+type Type uint8
+
+const (
+	// Int is a 64-bit integer column.
+	Int Type = iota
+	// Float is a 64-bit floating point column.
+	Float
+	// String is a string column (categorical attributes live here or in Int).
+	String
+)
+
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// ColumnDef names and types one column.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of column definitions with unique names.
+type Schema struct {
+	cols  []ColumnDef
+	index map[string]int
+}
+
+// NewSchema builds a schema from defs. Duplicate or empty names are
+// rejected.
+func NewSchema(defs ...ColumnDef) (*Schema, error) {
+	s := &Schema{cols: append([]ColumnDef(nil), defs...), index: make(map[string]int, len(defs))}
+	for i, d := range defs {
+		if d.Name == "" {
+			return nil, fmt.Errorf("table: column %d has empty name", i)
+		}
+		if _, dup := s.index[d.Name]; dup {
+			return nil, fmt.Errorf("table: duplicate column %q", d.Name)
+		}
+		s.index[d.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(defs ...ColumnDef) *Schema {
+	s, err := NewSchema(defs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the definition at position i.
+func (s *Schema) Col(i int) ColumnDef { return s.cols[i] }
+
+// Lookup returns the position of the named column, or -1.
+func (s *Schema) Lookup(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// String renders the schema as "name:type, ...".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		parts[i] = c.Name + ":" + c.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}

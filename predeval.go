@@ -1,0 +1,192 @@
+// Package predeval is the public face of the library: an embeddable
+// approximate-query engine for selection queries with expensive UDF
+// predicates, implementing "Exploiting Correlations for Expensive
+// Predicate Evaluation" (Joglekar, Garcia-Molina, Parameswaran, Ré).
+//
+// Load a table, register the expensive predicate, and query with accuracy
+// bounds:
+//
+//	db := predeval.Open(42)
+//	db.LoadCSV("loans", csvReader)
+//	db.RegisterUDF("good_credit", func(v any) bool { return creditCheck(v) }, 3.0)
+//	res, err := db.Query(`SELECT * FROM loans WHERE good_credit(id) = 1
+//	                      WITH PRECISION 0.9 RECALL 0.9 PROBABILITY 0.9`)
+//
+// The engine estimates how each column correlates with the UDF, samples a
+// few tuples to learn per-group selectivities, and then skips or
+// trusts whole groups of tuples so the result meets the requested
+// precision and recall with the requested probability — at a fraction of
+// the UDF invocations an exact evaluation would need. Omit the WITH
+// clause to run exactly. See DESIGN.md for the algorithm map and
+// EXPERIMENTS.md for the reproduction results.
+package predeval
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// DB is an in-memory database of tables and registered UDFs.
+type DB struct {
+	eng *engine.Engine
+}
+
+// Open creates an empty database. The seed makes sampling and
+// probabilistic execution reproducible.
+func Open(seed uint64) *DB {
+	return &DB{eng: engine.New(seed)}
+}
+
+// SetCosts overrides the per-tuple retrieval cost o_r and the default UDF
+// evaluation cost o_e (individual UDFs can override o_e at registration).
+func (db *DB) SetCosts(retrieve, evaluate float64) error {
+	if retrieve < 0 || evaluate < 0 {
+		return fmt.Errorf("predeval: negative cost")
+	}
+	db.eng.Cost.Retrieve = retrieve
+	db.eng.Cost.Evaluate = evaluate
+	return nil
+}
+
+// LoadCSV reads a CSV (header row required, column types inferred) into a
+// new table.
+func (db *DB) LoadCSV(name string, r io.Reader) error {
+	tbl, err := table.ReadCSV(name, r)
+	if err != nil {
+		return err
+	}
+	return db.eng.RegisterTable(tbl)
+}
+
+// LoadCSVFile is LoadCSV reading from a file path.
+func (db *DB) LoadCSVFile(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("predeval: %w", err)
+	}
+	defer f.Close()
+	return db.LoadCSV(name, f)
+}
+
+// RegisterUDF registers an expensive boolean predicate over a single
+// column value. cost is the per-invocation cost o_e (0 uses the engine
+// default of 3).
+func (db *DB) RegisterUDF(name string, fn func(value any) bool, cost float64) error {
+	if fn == nil {
+		return fmt.Errorf("predeval: nil UDF %q", name)
+	}
+	return db.eng.RegisterUDF(engine.UDF{
+		Name: name,
+		Body: func(v table.Value) bool { return fn(v) },
+		Cost: cost,
+	})
+}
+
+// Stats summarizes how a query spent its cost budget.
+type Stats struct {
+	// Evaluations is the number of UDF invocations made.
+	Evaluations int
+	// Retrievals is the number of tuples fetched.
+	Retrievals int
+	// Cost is o_r·Retrievals + o_e·Evaluations.
+	Cost float64
+	// ChosenColumn is the correlated (possibly virtual) column used.
+	ChosenColumn string
+	// Exact reports whether the query ran without approximation.
+	Exact bool
+	// AchievedRecallBound is set for BUDGET queries.
+	AchievedRecallBound float64
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	cols  []string
+	cells [][]string
+	ids   []int
+	stats Stats
+}
+
+// Columns returns the projected column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.cells) }
+
+// Row returns the rendered cells of result row i.
+func (r *Rows) Row(i int) []string { return r.cells[i] }
+
+// RowIDs returns the base-table row ids of the result (useful for joining
+// results back to ground truth in evaluations).
+func (r *Rows) RowIDs() []int { return r.ids }
+
+// Stats returns the execution statistics.
+func (r *Rows) Stats() Stats { return r.stats }
+
+// Query parses and executes one statement of the SQL dialect (see the
+// package documentation and internal/sqlparse). It returns the
+// materialized result.
+func (db *DB) Query(sql string) (*Rows, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	var res *engine.Result
+	if stmt.Join != nil {
+		sj, err := stmt.SelectJoin()
+		if err != nil {
+			return nil, err
+		}
+		res, err = db.eng.ExecuteSelectJoin(sj)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res, err = db.eng.Execute(stmt.Query)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out, err := db.eng.Materialize(stmt.Query, res)
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{
+		cols: out.Schema().Names(),
+		ids:  res.Rows,
+		stats: Stats{
+			Evaluations:         res.Stats.Evaluations,
+			Retrievals:          res.Stats.Retrievals,
+			Cost:                res.Stats.Cost,
+			ChosenColumn:        res.Stats.ChosenColumn,
+			Exact:               res.Stats.Exact,
+			AchievedRecallBound: res.Stats.AchievedRecallBound,
+		},
+	}
+	rows.cells = make([][]string, out.NumRows())
+	for i := 0; i < out.NumRows(); i++ {
+		cells := make([]string, out.Schema().Len())
+		for j := range cells {
+			cells[j] = out.CellString(i, j)
+		}
+		rows.cells[i] = cells
+	}
+	return rows, nil
+}
+
+// TableNames lists the registered tables... exposed for tooling.
+func (db *DB) NumRows(tableName string) (int, error) {
+	tbl, err := db.eng.Table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.NumRows(), nil
+}
+
+// Engine exposes the underlying engine for advanced, non-SQL use (the
+// examples use it to pin columns and run budget queries directly).
+func (db *DB) Engine() *engine.Engine { return db.eng }
