@@ -7,8 +7,10 @@
 package predeval_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	predeval "repro"
 	"repro/internal/core"
@@ -266,3 +268,78 @@ func predevalOpen(seed uint64) *predeval.DB { return predeval.Open(seed) }
 
 // BenchmarkTwoPredicateExtension measures the §5 conjunction study.
 func BenchmarkTwoPredicateExtension(b *testing.B) { runExperiment(b, "ext-twopred", 2) }
+
+// ------------------------------------------------ parallel UDF evaluation
+
+// slowUDFDelay simulates a genuinely expensive predicate (a remote scoring
+// service, a human task queue): ~100µs per invocation, I/O-shaped so
+// worker oversubscription pays off even on small machines.
+const slowUDFDelay = 100 * time.Microsecond
+
+// benchSlowDB builds a fresh DB over the loans fixture with a slow UDF at
+// the requested parallelism. A fresh DB per call keeps the cross-query
+// cache cold so every run pays full evaluation cost.
+func benchSlowDB(b *testing.B, n int, parallelism int) *predeval.DB {
+	b.Helper()
+	csv, truth := loansCSV(n, 1)
+	db := predeval.Open(42)
+	if err := db.LoadCSV("loans", strings.NewReader(csv)); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.RegisterUDF("slow", func(v any) bool {
+		time.Sleep(slowUDFDelay)
+		return truth[v.(int64)]
+	}, 3); err != nil {
+		b.Fatal(err)
+	}
+	db.SetParallelism(parallelism)
+	return db
+}
+
+// BenchmarkParallelExact measures an exact scan (one slow-UDF call per
+// row) across parallelism levels; ns/op should drop near-linearly from
+// parallelism 1 to 8.
+func BenchmarkParallelExact(b *testing.B) {
+	const n = 1200
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := benchSlowDB(b, n, p)
+				b.StartTimer()
+				rows, err := db.Query(`SELECT id FROM loans WHERE slow(id) = 1`)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows.Stats().Evaluations != n {
+					b.Fatalf("evaluated %d, want %d", rows.Stats().Evaluations, n)
+				}
+			}
+			b.ReportMetric(float64(n), "udfcalls/op")
+		})
+	}
+}
+
+// BenchmarkParallelApprox measures the full approximate pipeline (label →
+// sample → plan → execute) with the slow UDF across parallelism levels.
+// Planning is sequential, so speedup tracks the evaluated fraction.
+func BenchmarkParallelApprox(b *testing.B) {
+	const n = 3000
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := benchSlowDB(b, n, p)
+				b.StartTimer()
+				rows, err := db.Query(`SELECT id FROM loans WHERE slow(id) = 1
+					WITH PRECISION 0.8 RECALL 0.8 PROBABILITY 0.8 GROUP ON grade`)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows.Len() == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}

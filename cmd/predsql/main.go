@@ -56,9 +56,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	calls := 0
 	err = db.RegisterUDF(*udf, func(v any) bool {
-		calls++
 		id, ok := v.(int64)
 		if !ok {
 			return false

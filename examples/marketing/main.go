@@ -32,6 +32,9 @@ func main() {
 		log.Fatal(err)
 	}
 	db := predeval.Open(11)
+	// Keep the two campaign runs' costs independently comparable: disable
+	// the cross-query UDF cache (production traffic wants it on).
+	db.SetUDFCache(false)
 	if err := db.LoadCSV("contacts", &buf); err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync/atomic"
 
 	"repro"
 	"repro/internal/stats"
@@ -39,15 +40,16 @@ func main() {
 	if err := db.LoadCSV("posts", strings.NewReader(csv.String())); err != nil {
 		log.Fatal(err)
 	}
-	crowdTasks := 0
+	// Atomic: the engine may fan crowd tasks across concurrent workers.
+	var crowdTasks atomic.Int64
 	if err := db.RegisterUDF("is_relevant", func(v any) bool {
-		crowdTasks++
+		crowdTasks.Add(1)
 		return relevant[v.(int64)]
 	}, 3); err != nil {
 		log.Fatal(err)
 	}
 	if err := db.RegisterUDF("is_safe", func(v any) bool {
-		crowdTasks++
+		crowdTasks.Add(1)
 		return safe[v.(int64)]
 	}, 3); err != nil {
 		log.Fatal(err)
@@ -75,12 +77,12 @@ func main() {
 
 	fmt.Printf("posts: %d, truly relevant-and-safe: %d\n", n, totalCorrect)
 	fmt.Printf("selected: %d posts with %d crowd tasks (exact evaluation would short-circuit at %d, worst case %d)\n",
-		rows.Len(), crowdTasks, exactShortCircuit(relevant), 2*n)
+		rows.Len(), crowdTasks.Load(), exactShortCircuit(relevant), 2*n)
 	fmt.Printf("precision %.3f, recall %.3f\n",
 		float64(correct)/float64(rows.Len()),
 		float64(correct)/float64(totalCorrect))
 	fmt.Printf("savings: %.0f%% fewer crowd tasks than exact short-circuit evaluation\n",
-		100*(1-float64(crowdTasks)/float64(exactShortCircuit(relevant))))
+		100*(1-float64(crowdTasks.Load())/float64(exactShortCircuit(relevant))))
 }
 
 // exactShortCircuit counts the crowd tasks an exact conjunction needs:

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync/atomic"
 
 	"repro"
 	"repro/internal/stats"
@@ -30,15 +31,20 @@ func main() {
 	}
 
 	db := predeval.Open(42)
+	// The engine memoizes UDF outcomes across queries by default; disable
+	// that here so the exact and approximate runs have independently
+	// comparable costs (production traffic wants it on).
+	db.SetUDFCache(false)
 	if err := db.LoadCSV("loans", strings.NewReader(csv.String())); err != nil {
 		log.Fatal(err)
 	}
 
 	// The "expensive" UDF: pretend each call hits a credit bureau. Cost 3
-	// per call vs 1 per tuple retrieval (the paper's default ratio).
-	var bureauCalls int
+	// per call vs 1 per tuple retrieval (the paper's default ratio). The
+	// counter is atomic because the engine fans UDF calls across workers.
+	var bureauCalls atomic.Int64
 	err := db.RegisterUDF("good_credit", func(v any) bool {
-		bureauCalls++
+		bureauCalls.Add(1)
 		return truth[v.(int64)]
 	}, 3)
 	if err != nil {

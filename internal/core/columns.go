@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/exec"
 )
 
 // This file implements Section 4.4: finding a correlated column. A small
@@ -86,17 +88,34 @@ func SelectColumn(cands []Candidate, labeled map[int]bool, cons Constraints, cos
 	return choice, nil
 }
 
+// Labeler is the random source LabelFraction needs to pick rows.
+type Labeler interface {
+	SampleWithoutReplacement(n, k int) []int
+}
+
 // LabelFraction evaluates the UDF on a uniform random fraction of all rows
 // and returns the labels, for use with SelectColumn. The UDF calls are
 // charged to the provided meter (wrap the raw UDF first so the cost is
 // accounted once).
-func LabelFraction(rows []int, fraction float64, udf UDF, rng interface {
-	SampleWithoutReplacement(n, k int) []int
-}) map[int]bool {
+func LabelFraction(rows []int, fraction float64, udf UDF, rng Labeler) map[int]bool {
+	return LabelFractionParallel(rows, fraction, udf, rng, 1)
+}
+
+// LabelFractionParallel is LabelFraction with the UDF calls fanned across
+// up to `parallelism` workers (≤ 0 means GOMAXPROCS). The sample is drawn
+// from the RNG before any evaluation starts, so the labeled set — and the
+// RNG stream seen by later phases — is identical at any parallelism level.
+func LabelFractionParallel(rows []int, fraction float64, udf UDF, rng Labeler, parallelism int) map[int]bool {
 	k := int(math.Ceil(fraction * float64(len(rows))))
-	labeled := make(map[int]bool, k)
-	for _, i := range rng.SampleWithoutReplacement(len(rows), k) {
-		labeled[rows[i]] = udf.Eval(rows[i])
+	picks := rng.SampleWithoutReplacement(len(rows), k)
+	work := make([]int, len(picks))
+	for j, i := range picks {
+		work[j] = rows[i]
+	}
+	verdicts := exec.NewPool(parallelism).EvalRows(work, udf.Eval)
+	labeled := make(map[int]bool, len(work))
+	for j, row := range work {
+		labeled[row] = verdicts[j]
 	}
 	return labeled
 }

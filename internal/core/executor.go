@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/stats"
 )
 
@@ -12,6 +13,14 @@ import (
 // tuples are returned as-is, evaluated tuples are returned only when the
 // UDF accepts them. Tuples already evaluated during sampling are returned
 // (or dropped) according to their known value at no extra cost.
+//
+// Execution is split into two phases so the expensive UDF calls can fan
+// out across goroutines without perturbing determinism: a sequential PLAN
+// phase draws every Bernoulli coin from the RNG in tuple order and emits
+// the work-list of rows needing evaluation, then a parallel EVALUATE phase
+// runs the UDF over the work-list and merges verdicts back in row order.
+// Because the UDF never consumes the RNG, the coin stream — and therefore
+// the output — is bit-for-bit identical at every parallelism level.
 
 // SampleOutcome records the sampling phase's work for one group.
 type SampleOutcome struct {
@@ -33,11 +42,29 @@ type ExecResult struct {
 	Cost float64
 }
 
-// Execute runs the strategy over the groups. samples may be nil (no
-// sampling phase) or hold one entry per group; sampled rows are not
-// re-retrieved or re-evaluated — their recorded outcome decides membership.
-// The RNG drives the per-tuple coins.
+// Execute runs the strategy over the groups on the calling goroutine. It
+// is ExecuteParallel at parallelism 1, kept for the (many) sequential
+// callers in the experiment harness.
 func Execute(groups []Group, s Strategy, samples []SampleOutcome, udf UDF, cost CostModel, rng *stats.RNG) (ExecResult, error) {
+	return ExecuteParallel(groups, s, samples, udf, cost, rng, 1)
+}
+
+// execSlot is one potential output position produced by the plan phase:
+// either an unconditional emit (evalIdx < 0) or a slot whose inclusion
+// depends on the verdict of work-list item evalIdx.
+type execSlot struct {
+	row     int
+	evalIdx int
+}
+
+// ExecuteParallel runs the strategy over the groups, fanning UDF calls
+// across up to `parallelism` workers (≤ 0 means GOMAXPROCS). samples may
+// be nil (no sampling phase) or hold one entry per group; sampled rows are
+// not re-retrieved or re-evaluated — their recorded outcome decides
+// membership. The RNG drives the per-tuple coins; all draws happen in the
+// sequential plan phase, so results are identical at every parallelism
+// level.
+func ExecuteParallel(groups []Group, s Strategy, samples []SampleOutcome, udf UDF, cost CostModel, rng *stats.RNG, parallelism int) (ExecResult, error) {
 	if len(groups) != s.Len() {
 		return ExecResult{}, fmt.Errorf("core: %d groups but strategy covers %d", len(groups), s.Len())
 	}
@@ -48,6 +75,11 @@ func Execute(groups []Group, s Strategy, samples []SampleOutcome, udf UDF, cost 
 		return ExecResult{}, err
 	}
 	var res ExecResult
+
+	// Plan: draw retrieval/evaluation coins for every tuple in order,
+	// collecting output slots and the work-list of rows to evaluate.
+	var slots []execSlot
+	var work []int
 	for i, g := range groups {
 		ra, ea := s.R[i], s.E[i]
 		var sampled map[int]bool
@@ -62,7 +94,7 @@ func Execute(groups []Group, s Strategy, samples []SampleOutcome, udf UDF, cost 
 			if v, ok := sampled[row]; ok {
 				// Already paid for during sampling; include iff correct.
 				if v {
-					res.Output = append(res.Output, row)
+					slots = append(slots, execSlot{row: row, evalIdx: -1})
 				}
 				continue
 			}
@@ -71,13 +103,20 @@ func Execute(groups []Group, s Strategy, samples []SampleOutcome, udf UDF, cost 
 			}
 			res.Retrieved++
 			if rng.Bernoulli(condEval) {
-				res.Evaluated++
-				if udf.Eval(row) {
-					res.Output = append(res.Output, row)
-				}
+				slots = append(slots, execSlot{row: row, evalIdx: len(work)})
+				work = append(work, row)
 			} else {
-				res.Output = append(res.Output, row)
+				slots = append(slots, execSlot{row: row, evalIdx: -1})
 			}
+		}
+	}
+
+	// Evaluate: fan the expensive calls out, then merge in plan order.
+	verdicts := exec.NewPool(parallelism).EvalRows(work, udf.Eval)
+	res.Evaluated = len(work)
+	for _, sl := range slots {
+		if sl.evalIdx < 0 || verdicts[sl.evalIdx] {
+			res.Output = append(res.Output, sl.row)
 		}
 	}
 	res.Cost = cost.Retrieve*float64(res.Retrieved) + cost.Evaluate*float64(res.Evaluated)

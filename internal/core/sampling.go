@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/stats"
 )
 
@@ -93,18 +94,27 @@ type Sampler struct {
 	// unsampled[i] holds the not-yet-sampled row ids of group i in a
 	// pre-shuffled order; sampling pops from the tail.
 	unsampled [][]int
+	// parallelism caps the workers used to evaluate newly sampled rows
+	// (default 1, fully sequential). Row selection is always sequential, so
+	// outcomes are identical at any setting.
+	parallelism int
 }
+
+// SetParallelism sets the worker cap for UDF evaluation during TopUp
+// (≤ 0 means GOMAXPROCS, 1 means sequential).
+func (s *Sampler) SetParallelism(p int) { s.parallelism = p }
 
 // NewSampler prepares a sampler over the groups. Each group's rows are
 // shuffled once up front so successive top-ups are uniform without
 // replacement.
 func NewSampler(groups []Group, udf UDF, rng *stats.RNG) *Sampler {
 	s := &Sampler{
-		groups:    groups,
-		udf:       udf,
-		rng:       rng,
-		outcomes:  make([]SampleOutcome, len(groups)),
-		unsampled: make([][]int, len(groups)),
+		groups:      groups,
+		udf:         udf,
+		rng:         rng,
+		outcomes:    make([]SampleOutcome, len(groups)),
+		unsampled:   make([][]int, len(groups)),
+		parallelism: 1,
 	}
 	for i, g := range groups {
 		rows := append([]int(nil), g.Rows...)
@@ -139,26 +149,38 @@ func (s *Sampler) Preload(known map[int]bool) {
 // TopUp raises each group's sampled count to targets[i] (no-op for groups
 // already at or above target), evaluating the UDF on newly sampled rows.
 // It returns the number of new evaluations performed.
+//
+// TopUp is plan/evaluate split: the rows to sample are popped sequentially
+// from the pre-shuffled per-group pools (no RNG is consumed), the UDF runs
+// over the whole batch on up to SetParallelism workers, and outcomes are
+// recorded in pop order — so the sampler's state after TopUp is identical
+// at any parallelism level.
 func (s *Sampler) TopUp(targets []int) (int, error) {
 	if len(targets) != len(s.groups) {
 		return 0, fmt.Errorf("core: %d targets for %d groups", len(targets), len(s.groups))
 	}
-	evals := 0
+	// Plan: pop the rows each group still owes, group-major.
+	var work, groupOf []int
 	for i := range s.groups {
 		want := targets[i] - len(s.outcomes[i].Results)
 		for k := 0; k < want && len(s.unsampled[i]) > 0; k++ {
 			last := len(s.unsampled[i]) - 1
 			row := s.unsampled[i][last]
 			s.unsampled[i] = s.unsampled[i][:last]
-			v := s.udf.Eval(row)
-			s.outcomes[i].Results[row] = v
-			if v {
-				s.outcomes[i].Positives++
-			}
-			evals++
+			work = append(work, row)
+			groupOf = append(groupOf, i)
 		}
 	}
-	return evals, nil
+	// Evaluate in parallel, then record sequentially.
+	verdicts := exec.NewPool(s.parallelism).EvalRows(work, s.udf.Eval)
+	for k, row := range work {
+		i := groupOf[k]
+		s.outcomes[i].Results[row] = verdicts[k]
+		if verdicts[k] {
+			s.outcomes[i].Positives++
+		}
+	}
+	return len(work), nil
 }
 
 // Outcomes returns the per-group sampling outcomes (shared, do not mutate).

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/stats"
 )
 
@@ -25,11 +26,21 @@ type TwoPredSample struct {
 // (Beta-posterior means over the remaining tuples). Evaluations are
 // charged through the provided UDFs (wrap them in meters).
 func SampleTwoPredicates(groups []Group, targets []int, udf1, udf2 UDF, rng *stats.RNG) ([]TwoPredSample, []TwoPredGroup, error) {
+	return SampleTwoPredicatesParallel(groups, targets, udf1, udf2, rng, 1)
+}
+
+// SampleTwoPredicatesParallel is SampleTwoPredicates with both predicates'
+// evaluations fanned across up to `parallelism` workers. All sampled rows
+// are drawn from the RNG up front (sequentially), so the sampled sets and
+// estimates are identical at any parallelism level.
+func SampleTwoPredicatesParallel(groups []Group, targets []int, udf1, udf2 UDF, rng *stats.RNG, parallelism int) ([]TwoPredSample, []TwoPredGroup, error) {
 	if len(targets) != len(groups) {
 		return nil, nil, fmt.Errorf("core: %d targets for %d groups", len(targets), len(groups))
 	}
 	samples := make([]TwoPredSample, len(groups))
 	infos := make([]TwoPredGroup, len(groups))
+	// Plan: draw every group's sample rows in order.
+	var work, groupOf []int
 	for i, g := range groups {
 		samples[i] = TwoPredSample{Results: make(map[int][2]bool)}
 		want := targets[i]
@@ -37,20 +48,30 @@ func SampleTwoPredicates(groups []Group, targets []int, udf1, udf2 UDF, rng *sta
 			want = len(g.Rows)
 		}
 		for _, idx := range rng.SampleWithoutReplacement(len(g.Rows), want) {
-			row := g.Rows[idx]
-			v1 := udf1.Eval(row)
-			v2 := udf2.Eval(row)
-			samples[i].Results[row] = [2]bool{v1, v2}
-			if v1 {
-				samples[i].Pos1++
-			}
-			if v2 {
-				samples[i].Pos2++
-			}
-			if v1 && v2 {
-				samples[i].PosBoth++
-			}
+			work = append(work, g.Rows[idx])
+			groupOf = append(groupOf, i)
 		}
+	}
+	// Evaluate both predicates over the batch (sampling never
+	// short-circuits: joint selectivities need both outcomes). The two
+	// lists are independent, so they run fused as one wave — two
+	// sequential barriers would double the latency for I/O-bound UDFs.
+	v1s, v2s := evalFused(work, udf1, work, udf2, parallelism)
+	for k, row := range work {
+		i := groupOf[k]
+		v1, v2 := v1s[k], v2s[k]
+		samples[i].Results[row] = [2]bool{v1, v2}
+		if v1 {
+			samples[i].Pos1++
+		}
+		if v2 {
+			samples[i].Pos2++
+		}
+		if v1 && v2 {
+			samples[i].PosBoth++
+		}
+	}
+	for i, g := range groups {
 		f := len(samples[i].Results)
 		infos[i] = TwoPredGroup{
 			Size: len(g.Rows),
@@ -59,6 +80,23 @@ func SampleTwoPredicates(groups []Group, targets []int, udf1, udf2 UDF, rng *sta
 		}
 	}
 	return samples, infos, nil
+}
+
+// evalFused evaluates two independent work-lists (rows1 under udf1, rows2
+// under udf2) as a single pooled batch, returning each list's verdicts in
+// order. One batch instead of two sequential barriers halves wall-clock
+// latency when the pool is wider than either list alone.
+func evalFused(rows1 []int, udf1 UDF, rows2 []int, udf2 UDF, parallelism int) ([]bool, []bool) {
+	v1 := make([]bool, len(rows1))
+	v2 := make([]bool, len(rows2))
+	exec.NewPool(parallelism).ForEach(len(rows1)+len(rows2), func(i int) {
+		if i < len(rows1) {
+			v1[i] = udf1.Eval(rows1[i])
+		} else {
+			v2[i-len(rows1)] = udf2.Eval(rows2[i-len(rows1)])
+		}
+	})
+	return v1, v2
 }
 
 // TwoPredExecResult is the outcome of executing a two-predicate plan.
@@ -84,6 +122,33 @@ type TwoPredExecResult struct {
 //	TPEvalBoth      retrieve, evaluate f1; if it passes, evaluate f2;
 //	                return iff both
 func ExecuteTwoPredicates(groups []Group, acts []TwoPredAction, samples []TwoPredSample, udf1, udf2 UDF, cost CostModel) (TwoPredExecResult, error) {
+	return ExecuteTwoPredicatesParallel(groups, acts, samples, udf1, udf2, cost, 1)
+}
+
+// tpKind classifies what a two-predicate output slot still needs.
+type tpKind uint8
+
+const (
+	tpEmit     tpKind = iota // unconditional output
+	tpNeed1                  // output iff f1
+	tpNeed2                  // output iff f2
+	tpNeedBoth               // output iff f1, then f2 (short-circuit preserved)
+)
+
+// tpSlot is one potential output position of the two-predicate executor.
+type tpSlot struct {
+	row        int
+	kind       tpKind
+	idx1, idx2 int
+}
+
+// ExecuteTwoPredicatesParallel is ExecuteTwoPredicates with the UDF calls
+// batched and fanned across up to `parallelism` workers. Evaluation runs in
+// waves — all needed f1 calls and unconditional f2 calls first, then f2 on
+// the f1 survivors of TPEvalBoth groups — so the sequential short-circuit
+// accounting (f2 is never charged for rows f1 rejected) is preserved
+// exactly, as are output order and all counters.
+func ExecuteTwoPredicatesParallel(groups []Group, acts []TwoPredAction, samples []TwoPredSample, udf1, udf2 UDF, cost CostModel, parallelism int) (TwoPredExecResult, error) {
 	if len(acts) != len(groups) {
 		return TwoPredExecResult{}, fmt.Errorf("core: %d actions for %d groups", len(acts), len(groups))
 	}
@@ -91,6 +156,11 @@ func ExecuteTwoPredicates(groups []Group, acts []TwoPredAction, samples []TwoPre
 		return TwoPredExecResult{}, fmt.Errorf("core: %d samples for %d groups", len(samples), len(groups))
 	}
 	var res TwoPredExecResult
+
+	// Plan: classify every tuple, building the f1 work-list and the
+	// unconditional-f2 work-list.
+	var slots []tpSlot
+	var work1, work2 []int
 	for gi, g := range groups {
 		act := acts[gi]
 		var sampled map[int][2]bool
@@ -100,7 +170,7 @@ func ExecuteTwoPredicates(groups []Group, acts []TwoPredAction, samples []TwoPre
 		for _, row := range g.Rows {
 			if v, ok := sampled[row]; ok {
 				if v[0] && v[1] {
-					res.Output = append(res.Output, row)
+					slots = append(slots, tpSlot{row: row, kind: tpEmit})
 				}
 				continue
 			}
@@ -108,30 +178,62 @@ func ExecuteTwoPredicates(groups []Group, acts []TwoPredAction, samples []TwoPre
 			case TPDiscard:
 			case TPAssumeBoth:
 				res.Retrieved++
-				res.Output = append(res.Output, row)
+				slots = append(slots, tpSlot{row: row, kind: tpEmit})
 			case TPEval1Assume2:
 				res.Retrieved++
-				res.Evaluated1++
-				if udf1.Eval(row) {
-					res.Output = append(res.Output, row)
-				}
+				slots = append(slots, tpSlot{row: row, kind: tpNeed1, idx1: len(work1)})
+				work1 = append(work1, row)
 			case TPAssume1Eval2:
 				res.Retrieved++
-				res.Evaluated2++
-				if udf2.Eval(row) {
-					res.Output = append(res.Output, row)
-				}
+				slots = append(slots, tpSlot{row: row, kind: tpNeed2, idx2: len(work2)})
+				work2 = append(work2, row)
 			case TPEvalBoth:
 				res.Retrieved++
-				res.Evaluated1++
-				if udf1.Eval(row) {
-					res.Evaluated2++
-					if udf2.Eval(row) {
-						res.Output = append(res.Output, row)
-					}
-				}
+				slots = append(slots, tpSlot{row: row, kind: tpNeedBoth, idx1: len(work1)})
+				work1 = append(work1, row)
 			default:
 				return TwoPredExecResult{}, fmt.Errorf("core: invalid action %v for group %d", act, gi)
+			}
+		}
+	}
+
+	// Wave 1: every needed f1 call plus the unconditional f2 calls, fused
+	// into one batch since the two lists are independent.
+	v1, v2 := evalFused(work1, udf1, work2, udf2, parallelism)
+
+	// Wave 2: f2 on the TPEvalBoth rows that survived f1.
+	var work2b []int
+	for si := range slots {
+		sl := &slots[si]
+		if sl.kind != tpNeedBoth {
+			continue
+		}
+		if v1[sl.idx1] {
+			sl.idx2 = len(work2b)
+			work2b = append(work2b, sl.row)
+		} else {
+			sl.idx2 = -1
+		}
+	}
+	v2b := exec.NewPool(parallelism).EvalRows(work2b, udf2.Eval)
+
+	res.Evaluated1 = len(work1)
+	res.Evaluated2 = len(work2) + len(work2b)
+	for _, sl := range slots {
+		switch sl.kind {
+		case tpEmit:
+			res.Output = append(res.Output, sl.row)
+		case tpNeed1:
+			if v1[sl.idx1] {
+				res.Output = append(res.Output, sl.row)
+			}
+		case tpNeed2:
+			if v2[sl.idx2] {
+				res.Output = append(res.Output, sl.row)
+			}
+		case tpNeedBoth:
+			if sl.idx2 >= 0 && v2b[sl.idx2] {
+				res.Output = append(res.Output, sl.row)
 			}
 		}
 	}
@@ -146,6 +248,13 @@ func ExecuteTwoPredicates(groups []Group, acts []TwoPredAction, samples []TwoPre
 // Hoeffding margins so the expectation-level plan carries a probabilistic
 // guarantee), and execute. A tuple is correct iff both predicates hold.
 func RunTwoPredicates(groups []Group, udf1, udf2 UDF, cons Constraints, cost CostModel, alloc Allocator, rng *stats.RNG) (TwoPredExecResult, []TwoPredAction, error) {
+	return RunTwoPredicatesParallel(groups, udf1, udf2, cons, cost, alloc, rng, 1)
+}
+
+// RunTwoPredicatesParallel is RunTwoPredicates with sampling and execution
+// fanned across up to `parallelism` workers; planning stays sequential and
+// results are identical at any parallelism level.
+func RunTwoPredicatesParallel(groups []Group, udf1, udf2 UDF, cons Constraints, cost CostModel, alloc Allocator, rng *stats.RNG, parallelism int) (TwoPredExecResult, []TwoPredAction, error) {
 	if alloc == nil {
 		alloc = TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}
 	}
@@ -160,7 +269,7 @@ func RunTwoPredicates(groups []Group, udf1, udf2 UDF, cons Constraints, cost Cos
 	}
 	m1 := NewMeter(udf1)
 	m2 := NewMeter(udf2)
-	samples, infos, err := SampleTwoPredicates(groups, alloc.Allocate(sizes), m1, m2, rng.Split())
+	samples, infos, err := SampleTwoPredicatesParallel(groups, alloc.Allocate(sizes), m1, m2, rng.Split(), parallelism)
 	if err != nil {
 		return TwoPredExecResult{}, nil, err
 	}
@@ -190,7 +299,7 @@ func RunTwoPredicates(groups []Group, udf1, udf2 UDF, cons Constraints, cost Cos
 			acts[i] = TPEvalBoth
 		}
 	}
-	exec, err := ExecuteTwoPredicates(groups, acts, samples, m1, m2, cost)
+	exec, err := ExecuteTwoPredicatesParallel(groups, acts, samples, m1, m2, cost, parallelism)
 	if err != nil {
 		return TwoPredExecResult{}, nil, err
 	}

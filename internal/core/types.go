@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -269,39 +271,168 @@ type UDFFunc func(row int) bool
 // Eval implements UDF.
 func (f UDFFunc) Eval(row int) bool { return f(row) }
 
-// Meter wraps a UDF and counts invocations; it optionally memoizes results
-// so repeated evaluations of the same tuple (e.g. sampled during estimation
-// and touched again at execution) are charged once, matching the paper's
-// accounting.
+// EvalCache is a store of already-paid-for UDF outcomes shared across
+// queries (the engine keeps one per (table, UDF, column, want) key).
+// Implementations must be safe for concurrent use.
+type EvalCache interface {
+	// Lookup reports a cached outcome for the row, if one exists.
+	Lookup(row int) (bool, bool)
+	// Store records the row's outcome.
+	Store(row int, v bool)
+}
+
+// SharedEvalCache is the standard EvalCache: a mutex-guarded row → outcome
+// map, safe for concurrent queries.
+type SharedEvalCache struct {
+	mu   sync.RWMutex
+	vals map[int]bool
+}
+
+// NewSharedEvalCache returns an empty cache.
+func NewSharedEvalCache() *SharedEvalCache {
+	return &SharedEvalCache{vals: make(map[int]bool)}
+}
+
+// Lookup implements EvalCache.
+func (c *SharedEvalCache) Lookup(row int) (bool, bool) {
+	c.mu.RLock()
+	v, ok := c.vals[row]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+// Store implements EvalCache.
+func (c *SharedEvalCache) Store(row int, v bool) {
+	c.mu.Lock()
+	c.vals[row] = v
+	c.mu.Unlock()
+}
+
+// Len reports how many rows have cached outcomes.
+func (c *SharedEvalCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.vals)
+}
+
+// Meter wraps a UDF and counts invocations; it memoizes results so repeated
+// evaluations of the same tuple (e.g. sampled during estimation and touched
+// again at execution) are charged once, matching the paper's accounting.
+//
+// Meter is safe for concurrent use: parallel batch evaluation may hit the
+// same row from several goroutines, and single-flight de-duplication
+// guarantees the underlying UDF runs (and is charged) at most once per row,
+// keeping Calls deterministic at any parallelism level. An optional shared
+// EvalCache supplies outcomes already paid for by earlier queries; hits are
+// NOT charged to this meter.
 type Meter struct {
-	udf   UDF
-	calls int
-	memo  map[int]bool
+	udf    UDF
+	calls  atomic.Int64
+	shared EvalCache // may be nil
+
+	mu   sync.Mutex
+	memo map[int]*meterEntry
+}
+
+// meterEntry is a single-flight slot: the first goroutine to claim a row
+// evaluates it and closes done; later arrivals wait on done. failed marks
+// an evaluation that panicked (written before done closes): waiters retry
+// instead of trusting the zero-value verdict.
+type meterEntry struct {
+	done   chan struct{}
+	val    bool
+	failed bool
 }
 
 // NewMeter wraps udf with call counting and memoization.
 func NewMeter(udf UDF) *Meter {
-	return &Meter{udf: udf, memo: make(map[int]bool)}
+	return &Meter{udf: udf, memo: make(map[int]*meterEntry)}
+}
+
+// NewCachedMeter is NewMeter backed by a cross-query outcome cache: rows
+// found in cache are served without invoking (or charging for) the UDF, and
+// newly computed outcomes are written back for future queries.
+func NewCachedMeter(udf UDF, cache EvalCache) *Meter {
+	m := NewMeter(udf)
+	m.shared = cache
+	return m
 }
 
 // Eval implements UDF, charging only the first evaluation per row.
 func (m *Meter) Eval(row int) bool {
-	if v, ok := m.memo[row]; ok {
-		return v
+	var e *meterEntry
+	for {
+		m.mu.Lock()
+		if cur, ok := m.memo[row]; ok {
+			m.mu.Unlock()
+			<-cur.done
+			if cur.failed {
+				// The owner panicked; the row was forgotten — retry.
+				continue
+			}
+			return cur.val
+		}
+		e = &meterEntry{done: make(chan struct{})}
+		m.memo[row] = e
+		m.mu.Unlock()
+		break
 	}
-	m.calls++
+
+	// If the UDF panics, forget the row (a retry must re-evaluate, never
+	// inherit the zero-value verdict) and release waiters flagged failed;
+	// the panic still propagates to our caller.
+	completed := false
+	defer func() {
+		if !completed {
+			e.failed = true
+			m.mu.Lock()
+			delete(m.memo, row)
+			m.mu.Unlock()
+			close(e.done)
+		}
+	}()
+	if m.shared != nil {
+		if v, ok := m.shared.Lookup(row); ok {
+			e.val = v
+			completed = true
+			close(e.done)
+			return v
+		}
+	}
+	m.calls.Add(1)
 	v := m.udf.Eval(row)
-	m.memo[row] = v
+	e.val = v
+	completed = true
+	close(e.done)
+	if m.shared != nil {
+		m.shared.Store(row, v)
+	}
 	return v
 }
 
 // Calls returns the number of distinct UDF invocations charged so far.
-func (m *Meter) Calls() int { return m.calls }
+func (m *Meter) Calls() int { return int(m.calls.Load()) }
 
-// Known reports whether row's value is already cached (and what it is).
+// Known reports whether row's value is already memoized (and what it is).
+// In-flight evaluations on other goroutines report as unknown.
 func (m *Meter) Known(row int) (bool, bool) {
-	v, ok := m.memo[row]
-	return v, ok
+	m.mu.Lock()
+	e, ok := m.memo[row]
+	m.mu.Unlock()
+	if !ok {
+		return false, false
+	}
+	select {
+	case <-e.done:
+		if e.failed {
+			// The evaluation panicked after we fetched the entry; its
+			// zero-value verdict was never computed.
+			return false, false
+		}
+		return e.val, true
+	default:
+		return false, false
+	}
 }
 
 // Group binds a group key to the row ids of its tuples.

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"repro/internal/core"
+)
+
+// Cross-query UDF memoization. Under production traffic the same expensive
+// predicate is applied to the same table over and over (by different
+// queries, different constraint settings, or repeated identical queries);
+// since a registered UDF is a pure function of one column's cell and table
+// rows are append-only, an outcome computed once never needs re-paying o_e.
+// The engine keeps one SharedEvalCache per (table, UDF, column) key and
+// threads it beneath each query's Meter: cache hits bypass the UDF body
+// and are not charged as evaluations, so Stats.Evaluations and Stats.Cost
+// reflect only genuinely new work. The cache stores the RAW body outcome;
+// the query's "= 0/1" comparison is folded at lookup, so complementary
+// queries (want=1 vs want=0) share each other's evaluations.
+//
+// The cache is keyed by row id within the table. Rows appended after a
+// cache exists simply miss and get evaluated; existing rows cannot be
+// mutated through the table API, so entries never go stale.
+
+// evalCacheKey identifies one memoizable predicate application.
+type evalCacheKey struct {
+	table  string
+	udf    string
+	column string
+}
+
+// evalCache returns (creating on first use) the shared cache for key.
+func (e *Engine) evalCache(key evalCacheKey) *core.SharedEvalCache {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	c, ok := e.evalCaches[key]
+	if !ok {
+		c = core.NewSharedEvalCache()
+		e.evalCaches[key] = c
+	}
+	return c
+}
+
+// wantFoldedCache maps between the raw body outcomes held in the shared
+// cache and the want-folded verdicts the query's Meter works with: verdict
+// v relates to raw outcome r by v = (r == want), which inverts to
+// r = (v == want).
+type wantFoldedCache struct {
+	inner core.EvalCache
+	want  bool
+}
+
+func (c wantFoldedCache) Lookup(row int) (bool, bool) {
+	raw, ok := c.inner.Lookup(row)
+	return raw == c.want, ok
+}
+
+func (c wantFoldedCache) Store(row int, v bool) {
+	c.inner.Store(row, v == c.want)
+}
+
+// faultGatedCache blocks writes once the query has recorded a UDF fault:
+// a recovered panic yields a synthetic "false" verdict that must not be
+// persisted — a later query would silently inherit it instead of
+// re-evaluating. Reads are unaffected (cached entries are always genuine).
+type faultGatedCache struct {
+	inner core.EvalCache
+	fault *udfFault
+}
+
+func (c faultGatedCache) Lookup(row int) (bool, bool) { return c.inner.Lookup(row) }
+
+func (c faultGatedCache) Store(row int, v bool) {
+	// The fault is recorded inside the UDF wrapper before Meter.Eval
+	// stores, so the faulting row itself is always blocked. Healthy rows
+	// evaluated concurrently with a fault may be skipped too — that only
+	// costs a future re-evaluation, never correctness.
+	if c.fault.Err() == nil {
+		c.inner.Store(row, v)
+	}
+}
+
+// meterFor wraps a row UDF in a fresh per-query Meter, backed by the
+// engine's cross-query outcome cache unless CacheUDFResults is off.
+func (e *Engine) meterFor(q Query, udf core.UDF, fault *udfFault) *core.Meter {
+	if !e.CacheUDFResults {
+		return core.NewMeter(udf)
+	}
+	key := evalCacheKey{table: q.Table, udf: q.UDFName, column: q.UDFArg}
+	return core.NewCachedMeter(udf, faultGatedCache{
+		inner: wantFoldedCache{inner: e.evalCache(key), want: q.Want},
+		fault: fault,
+	})
+}
+
+// InvalidateUDFCache drops every cached outcome (all tables and UDFs).
+func (e *Engine) InvalidateUDFCache() {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	e.evalCaches = make(map[evalCacheKey]*core.SharedEvalCache)
+}
+
+// invalidateUDF drops cached outcomes of one UDF name (all tables);
+// RegisterUDF calls this because registration may replace the body.
+func (e *Engine) invalidateUDF(name string) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	for key := range e.evalCaches {
+		if key.udf == name {
+			delete(e.evalCaches, key)
+		}
+	}
+}

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/ml"
 	"repro/internal/stats"
 	"repro/internal/table"
@@ -29,8 +31,25 @@ type Engine struct {
 	// MaxCandidateCardinality caps candidate correlated columns (default
 	// 50, matching the paper's column scan).
 	MaxCandidateCardinality int
+	// Parallelism caps the number of workers UDF evaluation fans out
+	// across (labeling, sampling, execution and exact scans). Default
+	// runtime.GOMAXPROCS(0); 1 reproduces the sequential legacy behavior;
+	// ≤ 0 also means GOMAXPROCS. For a given seed, query results are
+	// bit-for-bit identical at every setting — only wall clock changes.
+	// Values above GOMAXPROCS are honored (useful for I/O-bound UDFs).
+	// UDF bodies must tolerate concurrent invocation when Parallelism > 1.
+	// Set before serving queries; changing it while Execute runs on
+	// another goroutine is a data race.
+	Parallelism int
+	// CacheUDFResults enables the cross-query (table, UDF, column)
+	// outcome cache: rows evaluated by one query are never re-paid by a
+	// later one. On by default; set before serving queries. See cache.go.
+	CacheUDFResults bool
 
 	rng *stats.RNG
+
+	cacheMu    sync.Mutex
+	evalCaches map[evalCacheKey]*core.SharedEvalCache
 }
 
 // New returns an engine with the paper's default cost model (o_r = 1,
@@ -43,9 +62,23 @@ func New(seed uint64) *Engine {
 		LabelFraction:           0.01,
 		VirtualBuckets:          10,
 		MaxCandidateCardinality: 50,
+		Parallelism:             runtime.GOMAXPROCS(0),
+		CacheUDFResults:         true,
 		rng:                     stats.NewRNG(seed),
+		evalCaches:              make(map[evalCacheKey]*core.SharedEvalCache),
 	}
 }
+
+// parallelism resolves the effective worker cap.
+func (e *Engine) parallelism() int {
+	if e.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.Parallelism
+}
+
+// pool returns a worker pool at the engine's parallelism.
+func (e *Engine) pool() *exec.Pool { return exec.NewPool(e.parallelism()) }
 
 // RegisterTable adds a table; the name must be unused.
 func (e *Engine) RegisterTable(t *table.Table) error {
@@ -69,19 +102,42 @@ func (e *Engine) Table(name string) (*table.Table, error) {
 	return t, nil
 }
 
-// RegisterUDF adds a UDF to the engine's registry.
-func (e *Engine) RegisterUDF(u UDF) error { return e.registry.Register(u) }
+// RegisterUDF adds a UDF to the engine's registry. Registering an existing
+// name replaces its body, so any cached outcomes for that name are dropped.
+func (e *Engine) RegisterUDF(u UDF) error {
+	if err := e.registry.Register(u); err != nil {
+		return err
+	}
+	e.invalidateUDF(u.Name)
+	return nil
+}
 
 // udfFault collects the first panic a UDF body raised during a query, so
 // a buggy user function surfaces as a query error instead of crashing the
 // process. The faulting tuple is treated as non-matching (it is never
-// returned), and the error is reported once execution finishes.
+// returned), and the error is reported once execution finishes. It is safe
+// for concurrent use: parallel evaluation may fault on several rows at
+// once, and only the first capture wins.
 type udfFault struct {
+	mu  sync.Mutex
 	err error
 }
 
+// record stores err if no earlier fault was captured.
+func (f *udfFault) record(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
 // Err returns the recorded fault, if any.
-func (f *udfFault) Err() error { return f.err }
+func (f *udfFault) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
 
 // rowUDF adapts a registered UDF to the core row-based interface, honoring
 // the query's "= 0/1" comparison. Panics inside the UDF body are captured
@@ -99,9 +155,7 @@ func (e *Engine) rowUDF(tbl *table.Table, q Query) (core.UDF, *udfFault, error) 
 	return core.UDFFunc(func(row int) (result bool) {
 		defer func() {
 			if r := recover(); r != nil {
-				if fault.err == nil {
-					fault.err = fmt.Errorf("engine: UDF %q panicked on row %d: %v", q.UDFName, row, r)
-				}
+				fault.record(fmt.Errorf("engine: UDF %q panicked on row %d: %v", q.UDFName, row, r))
 				result = false
 			}
 		}()
@@ -146,7 +200,7 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		}
 		return res, err
 	}
-	meter := core.NewMeter(udf)
+	meter := e.meterFor(q, udf, fault)
 	var res *Result
 	if q.Approx == nil {
 		res, err = e.executeExact(tbl, meter, cost, subset)
@@ -157,38 +211,6 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		return nil, fault.Err()
 	}
 	return res, err
-}
-
-// filterRows applies the query's cheap predicates, returning the matching
-// row ids (nil when there are no filters, meaning "all rows"). The scan is
-// over already-resident column data, so no retrieval or evaluation cost is
-// charged — this is the Section 5 "execute cheap predicates first" rule.
-func (e *Engine) filterRows(tbl *table.Table, filters []Filter) ([]int, error) {
-	if len(filters) == 0 {
-		return nil, nil
-	}
-	cols := make([]table.Column, len(filters))
-	for i, f := range filters {
-		col := tbl.ColumnByName(f.Column)
-		if col == nil {
-			return nil, fmt.Errorf("engine: table %q has no column %q to filter on", tbl.Name(), f.Column)
-		}
-		cols[i] = col
-	}
-	rows := []int{}
-	for r := 0; r < tbl.NumRows(); r++ {
-		keep := true
-		for i, f := range filters {
-			if cols[i].StringAt(r) != f.Value {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			rows = append(rows, r)
-		}
-	}
-	return rows, nil
 }
 
 // universe resolves a row subset: nil means every row of the table.
@@ -203,12 +225,16 @@ func universe(tbl *table.Table, subset []int) []int {
 	return rows
 }
 
+// executeExact evaluates the UDF on every row of the scan. The batch fans
+// out across the engine's worker pool; verdicts land at their scan index,
+// so the output order matches the sequential scan exactly.
 func (e *Engine) executeExact(tbl *table.Table, meter *core.Meter, cost core.CostModel, subset []int) (*Result, error) {
 	scan := universe(tbl, subset)
+	verdicts := e.pool().EvalRows(scan, meter.Eval)
 	var rows []int
-	for _, i := range scan {
-		if meter.Eval(i) {
-			rows = append(rows, i)
+	for i, r := range scan {
+		if verdicts[i] {
+			rows = append(rows, r)
 		}
 	}
 	n := len(scan)
@@ -235,6 +261,7 @@ func (e *Engine) executeApprox(tbl *table.Table, q Query, meter *core.Meter, cos
 	}
 
 	sampler := core.NewSampler(groups, meter, rng.Split())
+	sampler.SetParallelism(e.parallelism())
 	sampler.Preload(labeled)
 	sizes := make([]int, len(groups))
 	for i, g := range groups {
@@ -270,7 +297,7 @@ func (e *Engine) executeApprox(tbl *table.Table, q Query, meter *core.Meter, cos
 		}
 	}
 
-	exec, err := core.Execute(groups, strat, sampler.Outcomes(), meter, cost, rng.Split())
+	exec, err := core.ExecuteParallel(groups, strat, sampler.Outcomes(), meter, cost, rng.Split(), e.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +393,7 @@ func (e *Engine) discoverColumn(tbl *table.Table, q Query, meter *core.Meter, co
 	}
 	labeled := make(map[int]bool)
 	for attempt := 0; attempt < 8; attempt++ {
-		for row, v := range core.LabelFraction(rows, frac, meter, rng) {
+		for row, v := range core.LabelFractionParallel(rows, frac, meter, rng, e.parallelism()) {
 			labeled[row] = v
 		}
 		choice, err := core.SelectColumn(cands, labeled, cons, cost)
@@ -397,13 +424,22 @@ func (e *Engine) virtualColumn(tbl *table.Table, q Query, meter *core.Meter, rng
 	if frac <= 0 {
 		frac = 0.01
 	}
-	labeled := core.LabelFraction(rows, frac, meter, rng)
+	labeled := core.LabelFractionParallel(rows, frac, meter, rng, e.parallelism())
 
+	// Train in sorted row order: ranging over the map would feed the
+	// gradient accumulation in Go's randomized iteration order, making
+	// same-seed runs diverge at the last ulp (and occasionally across a
+	// bucket boundary).
+	labeledRows := make([]int, 0, len(labeled))
+	for row := range labeled {
+		labeledRows = append(labeledRows, row)
+	}
+	sort.Ints(labeledRows)
 	X := make([][]float64, 0, len(labeled))
 	y := make([]bool, 0, len(labeled))
-	for row, v := range labeled {
+	for _, row := range labeledRows {
 		X = append(X, enc.EncodeRow(tbl, row))
-		y = append(y, v)
+		y = append(y, labeled[row])
 	}
 	var model ml.LogisticRegression
 	if err := model.Fit(X, y); err != nil {

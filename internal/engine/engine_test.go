@@ -2,6 +2,7 @@ package engine
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -41,18 +42,19 @@ func buildLoanTable(t testing.TB, n int, seed uint64) (*table.Table, map[int64]b
 	return tbl, truth
 }
 
-func newTestEngine(t testing.TB, n int) (*Engine, map[int64]bool, *int) {
+func newTestEngine(t testing.TB, n int) (*Engine, map[int64]bool, *atomic.Int64) {
 	t.Helper()
 	tbl, truth := buildLoanTable(t, n, 42)
 	e := New(7)
 	if err := e.RegisterTable(tbl); err != nil {
 		t.Fatal(err)
 	}
-	calls := new(int)
+	// Atomic: UDF bodies may run concurrently when Parallelism > 1.
+	calls := new(atomic.Int64)
 	err := e.RegisterUDF(UDF{
 		Name: "good_credit",
 		Body: func(v table.Value) bool {
-			*calls++
+			calls.Add(1)
 			return truth[v.(int64)]
 		},
 	})
@@ -75,8 +77,8 @@ func TestExecuteExact(t *testing.T) {
 	if !res.Stats.Exact {
 		t.Fatal("expected exact execution")
 	}
-	if *calls != 900 || res.Stats.Evaluations != 900 {
-		t.Fatalf("exact evaluated %d/%d, want 900", *calls, res.Stats.Evaluations)
+	if calls.Load() != 900 || res.Stats.Evaluations != 900 {
+		t.Fatalf("exact evaluated %d/%d, want 900", calls.Load(), res.Stats.Evaluations)
 	}
 	wantCount := 0
 	for _, v := range truth {
@@ -390,6 +392,36 @@ func TestJoinMultiplicities(t *testing.T) {
 	}
 }
 
+func TestVirtualColumnDeterministic(t *testing.T) {
+	run := func() []int {
+		tbl, truth := buildLoanTable(t, 1500, 42)
+		e := New(9)
+		if err := e.RegisterTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RegisterUDF(UDF{Name: "f", Body: func(v table.Value) bool { return truth[v.(int64)] }}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Execute(Query{
+			Table: "loans", UDFName: "f", UDFArg: "id", Want: true,
+			Approx: approx(0.8, 0.8, 0.8), GroupOn: VirtualColumn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("same-seed virtual-column runs returned %d vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed virtual-column runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
 func TestEngineDeterministicAcrossSeeds(t *testing.T) {
 	run := func(seed uint64) int {
 		tbl, truth := buildLoanTable(t, 1200, 42)
@@ -500,9 +532,9 @@ func TestExecuteConjunction(t *testing.T) {
 
 func TestExecuteConjunctionExactShortCircuits(t *testing.T) {
 	e, truth, calls := newTestEngine(t, 300)
-	calls2 := 0
+	var calls2 atomic.Int64
 	if err := e.RegisterUDF(UDF{Name: "second", Body: func(v table.Value) bool {
-		calls2++
+		calls2.Add(1)
 		return v.(int64)%2 == 0
 	}}); err != nil {
 		t.Fatal(err)
@@ -522,11 +554,11 @@ func TestExecuteConjunctionExactShortCircuits(t *testing.T) {
 		}
 	}
 	// f2 must only have been evaluated on f1 survivors.
-	if calls2 != nTrue {
-		t.Fatalf("second predicate called %d times, want %d", calls2, nTrue)
+	if calls2.Load() != int64(nTrue) {
+		t.Fatalf("second predicate called %d times, want %d", calls2.Load(), nTrue)
 	}
-	if *calls != 300 {
-		t.Fatalf("first predicate called %d times, want 300", *calls)
+	if calls.Load() != 300 {
+		t.Fatalf("first predicate called %d times, want 300", calls.Load())
 	}
 	for _, r := range res.Rows {
 		if !truth[int64(r)] || r%2 != 0 {
@@ -617,8 +649,8 @@ func TestCheapFilterPushdownExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Only grade-A rows (ids ≡ 0 mod 3, 300 of them) are evaluated.
-	if *calls != 300 {
-		t.Fatalf("UDF called %d times, want 300", *calls)
+	if calls.Load() != 300 {
+		t.Fatalf("UDF called %d times, want 300", calls.Load())
 	}
 	for _, r := range res.Rows {
 		if r%3 != 0 {

@@ -56,7 +56,7 @@ func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	meter := core.NewMeter(udf)
+	meter := e.meterFor(q.Query, udf, fault)
 	cost := e.costModel(q.Query)
 	cons := q.Approx.Constraints()
 	e.mu.Lock()
@@ -111,6 +111,7 @@ func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 
 	// Estimate subgroup selectivities by sampling, then plan with weights.
 	sampler := core.NewSampler(groups, meter, rng.Split())
+	sampler.SetParallelism(e.parallelism())
 	sizes := make([]int, len(groups))
 	for i, g := range groups {
 		sizes[i] = len(g.Rows)
@@ -133,7 +134,7 @@ func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 	}
 	// The strategy covers remaining tuples; execute over the groups with
 	// the sampler's outcomes honored.
-	exec, err := core.Execute(groups, strat, sampler.Outcomes(), meter, cost, rng.Split())
+	exec, err := core.ExecuteParallel(groups, strat, sampler.Outcomes(), meter, cost, rng.Split(), e.parallelism())
 	if err != nil {
 		return nil, err
 	}

@@ -26,9 +26,7 @@ func (e *Engine) executeTwoPred(tbl *table.Table, q Query, cost core.CostModel, 
 	if err != nil {
 		return nil, err
 	}
-	udf2, fault2, err := e.rowUDF(tbl, Query{
-		Table: q.Table, UDFName: q.And.UDFName, UDFArg: q.And.UDFArg, Want: q.And.Want,
-	})
+	udf2, fault2, err := e.rowUDF(tbl, q2(q))
 	if err != nil {
 		return nil, err
 	}
@@ -40,9 +38,17 @@ func (e *Engine) executeTwoPred(tbl *table.Table, q Query, cost core.CostModel, 
 	rng := e.rng.Split()
 	e.mu.Unlock()
 
-	m1 := core.NewMeter(udf1)
-	m2 := core.NewMeter(udf2)
-	res, _, err := core.RunTwoPredicates(groups, m1, m2, q.Approx.Constraints(), cost, nil, rng)
+	m1 := e.meterFor(q, udf1, fault1)
+	m2 := e.meterFor(q2(q), udf2, fault2)
+	if q.And.UDFName == q.UDFName && q.And.UDFArg == q.UDFArg {
+		// Degenerate conjunction over one (table, UDF, column) key: the two
+		// meters would share a cache while sampling evaluates both
+		// predicates concurrently over the same rows, making whether m2
+		// charges a call depend on store timing. Give m2 a private meter so
+		// Stats stay bit-identical at every parallelism level.
+		m2 = core.NewMeter(udf2)
+	}
+	res, _, err := core.RunTwoPredicatesParallel(groups, m1, m2, q.Approx.Constraints(), cost, nil, rng, e.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -53,16 +59,31 @@ func (e *Engine) executeTwoPred(tbl *table.Table, q Query, cost core.CostModel, 
 	if fault2.Err() != nil {
 		return nil, fault2.Err()
 	}
+	// Account evaluations from the outer meters so cross-query cache hits
+	// are not re-charged; sampling work is Retrievals beyond execution.
+	evals := m1.Calls() + m2.Calls()
+	sampled := evals - res.Evaluated1 - res.Evaluated2
+	if sampled < 0 {
+		// Cache hits during sampling can push charged calls below the
+		// execution-phase counts; the sampling work was simply free.
+		sampled = 0
+	}
 	return &Result{
 		Rows: res.Output,
 		Stats: Stats{
-			Evaluations:  m1.Calls() + m2.Calls(),
+			Evaluations:  evals,
 			Retrievals:   res.Retrieved,
-			Cost:         res.Cost,
+			Cost:         float64(res.Retrieved)*cost.Retrieve + float64(evals)*cost.Evaluate,
 			ChosenColumn: q.GroupOn,
-			Sampled:      m1.Calls() + m2.Calls() - res.Evaluated1 - res.Evaluated2,
+			Sampled:      sampled,
 		},
 	}, nil
+}
+
+// q2 is the synthetic Query describing the second predicate of a
+// conjunction (used for UDF resolution and cache keying).
+func q2(q Query) Query {
+	return Query{Table: q.Table, UDFName: q.And.UDFName, UDFArg: q.And.UDFArg, Want: q.And.Want}
 }
 
 func (e *Engine) executeTwoPredExact(tbl *table.Table, q Query, cost core.CostModel, subset []int) (*Result, error) {
@@ -70,19 +91,29 @@ func (e *Engine) executeTwoPredExact(tbl *table.Table, q Query, cost core.CostMo
 	if err != nil {
 		return nil, err
 	}
-	udf2, fault2, err := e.rowUDF(tbl, Query{
-		Table: q.Table, UDFName: q.And.UDFName, UDFArg: q.And.UDFArg, Want: q.And.Want,
-	})
+	udf2, fault2, err := e.rowUDF(tbl, q2(q))
 	if err != nil {
 		return nil, err
 	}
-	m1 := core.NewMeter(udf1)
-	m2 := core.NewMeter(udf2)
+	m1 := e.meterFor(q, udf1, fault1)
+	m2 := e.meterFor(q2(q), udf2, fault2)
+	// Exact conjunction, batched: f1 over the whole scan, then f2 over the
+	// survivors — the same short-circuit work (and charges) as the
+	// sequential m1.Eval(i) && m2.Eval(i) loop, in the same output order.
 	scan := universe(tbl, subset)
+	pool := e.pool()
+	v1 := pool.EvalRows(scan, m1.Eval)
+	var survivors []int
+	for i, r := range scan {
+		if v1[i] {
+			survivors = append(survivors, r)
+		}
+	}
+	v2 := pool.EvalRows(survivors, m2.Eval)
 	var rows []int
-	for _, i := range scan {
-		if m1.Eval(i) && m2.Eval(i) {
-			rows = append(rows, i)
+	for i, r := range survivors {
+		if v2[i] {
+			rows = append(rows, r)
 		}
 	}
 	n := len(scan)

@@ -1,0 +1,139 @@
+// Package exec is the parallel-evaluation substrate: a small worker pool
+// that fans independent work items (UDF invocations, almost always) across
+// goroutines and merges results back in item order, so callers get
+// bit-for-bit deterministic output regardless of the parallelism level.
+//
+// The design deliberately keeps all randomness and planning OUT of this
+// package: callers run a sequential plan phase that draws every random coin
+// and emits a work-list, then hand the work-list here for evaluation. The
+// pool only decides which goroutine runs which item, which affects wall
+// clock but never results — each item's output lands at its own index.
+//
+// Worker count is exactly the requested parallelism (bounded below by 1 and
+// above by the number of items). It is intentionally NOT clamped to
+// runtime.GOMAXPROCS: expensive predicates are frequently I/O-bound (remote
+// services, human labeling, disk), where oversubscribing cores is the whole
+// point. CPU-bound callers should pass runtime.GOMAXPROCS(0).
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs batches of independent work items on up to a fixed number of
+// concurrent workers. The zero value is not useful; use NewPool. A Pool is
+// stateless between calls (workers live only for the duration of one batch)
+// and is safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given parallelism. Non-positive values
+// default to runtime.GOMAXPROCS(0).
+func NewPool(parallelism int) *Pool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: parallelism}
+}
+
+// Workers reports the pool's parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach invokes fn(i) for every i in [0, n), using up to Workers()
+// goroutines. It returns after all invocations complete. When parallelism
+// is 1 (or n is 1) everything runs on the calling goroutine, byte-for-byte
+// reproducing the legacy sequential behavior.
+//
+// fn must be safe for concurrent invocation when the pool's parallelism
+// exceeds 1. If any invocation panics, no further chunks are claimed
+// (in-flight chunks on other workers still finish) and the first captured
+// panic value is re-panicked on the calling goroutine.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Workers claim fixed-size chunks off an atomic cursor. Chunking
+	// amortizes the atomic op for cheap items while staying balanced for
+	// expensive ones (at most workers·8 claims per batch).
+	chunk := n / (w * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		cursor  atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+		panics  int
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				end := int(cursor.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				if !runChunk(start, end, fn, &panicMu, &panicV, &panics) {
+					// Park the cursor past the end so idle workers stop
+					// claiming chunks: once a panic is destined to discard
+					// the batch, further expensive calls are pure waste.
+					// In-flight chunks still finish.
+					cursor.Store(int64(n))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panics > 0 {
+		panic(panicV)
+	}
+}
+
+// runChunk executes one claimed chunk, recording the first panic; it
+// reports whether the worker should keep claiming work.
+func runChunk(start, end int, fn func(int), mu *sync.Mutex, first *any, count *int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			mu.Lock()
+			if *count == 0 {
+				*first = r
+			}
+			*count++
+			mu.Unlock()
+			ok = false
+		}
+	}()
+	for i := start; i < end; i++ {
+		fn(i)
+	}
+	return true
+}
+
+// EvalRows evaluates pred over each row id and returns the verdicts in
+// input order. This is the batch shape every UDF path uses: the caller's
+// plan phase produces the row work-list, this fans the expensive calls out.
+func (p *Pool) EvalRows(rows []int, pred func(row int) bool) []bool {
+	out := make([]bool, len(rows))
+	p.ForEach(len(rows), func(i int) { out[i] = pred(rows[i]) })
+	return out
+}

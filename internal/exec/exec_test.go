@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewPoolDefaults(t *testing.T) {
+	if got := NewPool(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(0) workers %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := NewPool(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(-3) workers %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := NewPool(7).Workers(); got != 7 {
+		t.Fatalf("NewPool(7) workers %d", got)
+	}
+	// Oversubscription beyond GOMAXPROCS is deliberate (I/O-bound UDFs).
+	if got := NewPool(1000).Workers(); got != 1000 {
+		t.Fatalf("NewPool(1000) workers %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 10000
+		counts := make([]atomic.Int32, n)
+		NewPool(workers).ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	// Parallelism 1 must preserve strict index order on the calling
+	// goroutine — the legacy-behavior contract.
+	var order []int
+	NewPool(1).ForEach(100, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+	if len(order) != 100 {
+		t.Fatalf("visited %d of 100", len(order))
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	NewPool(4).ForEach(0, func(int) { called = true })
+	NewPool(4).ForEach(-5, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty batch")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			NewPool(workers).ForEach(100, func(i int) {
+				if i == 37 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: no panic", workers)
+		}()
+	}
+}
+
+func TestForEachPanicStopsClaimingWork(t *testing.T) {
+	// After an early panic, the batch must not be fully drained: workers
+	// stop claiming chunks once the panic is recorded. Run enough items
+	// that full drainage would be detected reliably.
+	const n = 100000
+	var executed atomic.Int64
+	func() {
+		defer func() { _ = recover() }()
+		NewPool(4).ForEach(n, func(i int) {
+			if i == 0 {
+				panic("early")
+			}
+			executed.Add(1)
+		})
+	}()
+	if got := executed.Load(); got >= n-1 {
+		t.Fatalf("all %d items ran despite early panic", got)
+	}
+}
+
+func TestForEachConcurrencyCap(t *testing.T) {
+	const workers = 4
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	NewPool(workers).ForEach(200, func(int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent invocations, cap %d", p, workers)
+	}
+}
+
+func TestEvalRowsOrder(t *testing.T) {
+	rows := []int{5, 3, 8, 1, 9, 2}
+	got := NewPool(8).EvalRows(rows, func(r int) bool { return r%2 == 1 })
+	want := []bool{true, true, false, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("verdicts %v, want %v", got, want)
+		}
+	}
+	if out := NewPool(3).EvalRows(nil, func(int) bool { return true }); len(out) != 0 {
+		t.Fatalf("empty input produced %v", out)
+	}
+}

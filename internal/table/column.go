@@ -125,6 +125,15 @@ func (c *StringColumn) Code(i int) int { return int(c.data[i]) }
 // Dict returns the dictionary (code → string) for read-only use.
 func (c *StringColumn) Dict() []string { return c.dict }
 
+// LookupCode resolves a value to its dictionary code, or -1 if the value
+// never appears in the column.
+func (c *StringColumn) LookupCode(s string) int {
+	if code, ok := c.lookup[s]; ok {
+		return int(code)
+	}
+	return -1
+}
+
 func (c *StringColumn) append(v Value) error {
 	s, ok := v.(string)
 	if !ok {

@@ -19,6 +19,17 @@
 // the UDF invocations an exact evaluation would need. Omit the WITH
 // clause to run exactly. See DESIGN.md for the algorithm map and
 // EXPERIMENTS.md for the reproduction results.
+//
+// UDF invocations — the dominant cost — fan out across a worker pool
+// (SetParallelism; default runtime.GOMAXPROCS(0)). Execution is split into
+// a sequential plan phase that draws all random coins and a parallel
+// evaluate phase, so for a given seed the results are bit-for-bit
+// identical at every parallelism level; SetParallelism(1) reproduces fully
+// sequential execution. When parallelism exceeds 1, registered UDF bodies
+// must be safe for concurrent invocation. Outcomes are also memoized per
+// (table, UDF, column) across queries, so production traffic repeating
+// predicates over the same rows never re-pays the evaluation cost; see
+// DESIGN.md for the determinism contract and cache semantics.
 package predeval
 
 import (
@@ -51,6 +62,33 @@ func (db *DB) SetCosts(retrieve, evaluate float64) error {
 	db.eng.Cost.Retrieve = retrieve
 	db.eng.Cost.Evaluate = evaluate
 	return nil
+}
+
+// SetParallelism caps the number of workers UDF evaluation fans out
+// across. n = 1 runs fully sequentially; n ≤ 0 resets to
+// runtime.GOMAXPROCS(0), the default. Results for a given seed are
+// identical at every setting. Values above GOMAXPROCS are honored — for
+// I/O-bound UDFs (remote scoring services, disk) oversubscription is
+// usually the right call. UDF bodies must tolerate concurrent invocation
+// when n > 1.
+//
+// Like SetCosts and SetUDFCache, configure before serving queries:
+// calling it concurrently with in-flight Query calls is a data race.
+func (db *DB) SetParallelism(n int) {
+	db.eng.Parallelism = n
+}
+
+// SetUDFCache toggles the cross-query UDF outcome cache (on by default):
+// when enabled, a row evaluated by one query is never re-paid by a later
+// query over the same (table, UDF, column) — the "= 0/1" comparison is
+// folded at lookup, so complementary queries share too. Disabling also
+// drops any cached outcomes. Configure before serving queries (see
+// SetParallelism).
+func (db *DB) SetUDFCache(enabled bool) {
+	db.eng.CacheUDFResults = enabled
+	if !enabled {
+		db.eng.InvalidateUDFCache()
+	}
 }
 
 // LoadCSV reads a CSV (header row required, column types inferred) into a
