@@ -13,19 +13,19 @@
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/cliutil"
+	"repro/internal/labels"
 )
 
 func main() {
 	var (
-		tables multiFlag
+		tables cliutil.MultiFlag
 		truth  = flag.String("truth", "", "labels CSV (id,label) backing the simulated UDF")
 		udf    = flag.String("udf", "good_credit", "UDF name to register")
 		sqlStr = flag.String("sql", "", "query to run")
@@ -52,18 +52,15 @@ func main() {
 		}
 	}
 
-	labels, err := loadLabels(*truth)
+	truthLabels, err := labels.LoadFile(*truth)
 	if err != nil {
 		fatal(err)
 	}
-	err = db.RegisterUDF(*udf, func(v any) bool {
-		id, ok := v.(int64)
-		if !ok {
-			return false
-		}
-		return labels[id]
-	}, 0)
-	if err != nil {
+	// labels.Predicate accepts int64/float64/string ids and faults (query
+	// error) on anything else — a silently-false UDF here used to make every
+	// query "succeed" with zero rows whenever the id column inferred as
+	// Float or String.
+	if err := db.RegisterUDF(*udf, labels.Predicate(truthLabels), 0); err != nil {
 		fatal(err)
 	}
 
@@ -72,8 +69,8 @@ func main() {
 		fatal(err)
 	}
 	st := rows.Stats()
-	fmt.Printf("rows: %d\nUDF calls: %d\nretrievals: %d\ncost: %.0f\n",
-		rows.Len(), st.Evaluations, st.Retrievals, st.Cost)
+	fmt.Printf("rows: %d\nUDF calls: %d\nretrievals: %d\nsampled: %d\ncost: %.0f\n",
+		rows.Len(), st.Evaluations, st.Retrievals, st.Sampled, st.Cost)
 	if st.ChosenColumn != "" {
 		fmt.Printf("correlated column: %s\n", st.ChosenColumn)
 	}
@@ -89,41 +86,6 @@ func main() {
 	if rows.Len() > *limit {
 		fmt.Printf("... (%d more rows)\n", rows.Len()-*limit)
 	}
-}
-
-type multiFlag []string
-
-func (m *multiFlag) String() string { return strings.Join(*m, ",") }
-func (m *multiFlag) Set(v string) error {
-	*m = append(*m, v)
-	return nil
-}
-
-func loadLabels(path string) (map[int64]bool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	records, err := csv.NewReader(f).ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(records) < 1 {
-		return nil, fmt.Errorf("predsql: empty labels file %s", path)
-	}
-	labels := make(map[int64]bool, len(records)-1)
-	for _, rec := range records[1:] {
-		if len(rec) < 2 {
-			return nil, fmt.Errorf("predsql: labels file needs id,label columns")
-		}
-		id, err := strconv.ParseInt(rec[0], 10, 64)
-		if err != nil {
-			return nil, err
-		}
-		labels[id] = rec[1] == "1" || strings.EqualFold(rec[1], "true")
-	}
-	return labels, nil
 }
 
 func fatal(err error) {

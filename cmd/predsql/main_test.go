@@ -1,63 +1,28 @@
 package main
 
+// Label loading and the typed-id predicate are exercised in
+// internal/labels; the repeatable -table flag in internal/cliutil. This
+// file keeps a smoke check that the pieces wire together for this command.
+
 import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/labels"
 )
 
-func writeTemp(t *testing.T, name, content string) string {
-	t.Helper()
-	path := filepath.Join(t.TempDir(), name)
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+func TestLoadLabelsWiring(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.csv")
+	if err := os.WriteFile(path, []byte("id,label\n0,1\n1,0\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	return path
-}
-
-func TestLoadLabels(t *testing.T) {
-	path := writeTemp(t, "labels.csv", "id,label\n0,1\n1,0\n2,true\n3,TRUE\n4,0\n")
-	labels, err := loadLabels(path)
+	m, err := labels.LoadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[int64]bool{0: true, 1: false, 2: true, 3: true, 4: false}
-	if len(labels) != len(want) {
-		t.Fatalf("got %d labels", len(labels))
-	}
-	for id, v := range want {
-		if labels[id] != v {
-			t.Fatalf("label[%d] = %v, want %v", id, labels[id], v)
-		}
-	}
-}
-
-func TestLoadLabelsErrors(t *testing.T) {
-	if _, err := loadLabels("/no/such/file"); err == nil {
-		t.Fatal("missing file accepted")
-	}
-	short := writeTemp(t, "short.csv", "id\n0\n")
-	if _, err := loadLabels(short); err == nil {
-		t.Fatal("single-column labels accepted")
-	}
-	badID := writeTemp(t, "bad.csv", "id,label\nxyz,1\n")
-	if _, err := loadLabels(badID); err == nil {
-		t.Fatal("non-numeric id accepted")
-	}
-}
-
-func TestMultiFlag(t *testing.T) {
-	var m multiFlag
-	if err := m.Set("a=1"); err != nil {
-		t.Fatal(err)
-	}
-	if err := m.Set("b=2"); err != nil {
-		t.Fatal(err)
-	}
-	if m.String() != "a=1,b=2" {
-		t.Fatalf("string %q", m.String())
-	}
-	if len(m) != 2 {
-		t.Fatalf("len %d", len(m))
+	pred := labels.Predicate(m)
+	if !pred(int64(0)) || pred(int64(1)) {
+		t.Fatalf("labels %v mis-predicated", m)
 	}
 }

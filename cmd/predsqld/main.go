@@ -1,0 +1,375 @@
+// Command predsqld serves the library's SQL dialect over HTTP: tables and
+// ground-truth labels are loaded at startup, and clients POST queries with
+// per-request timeouts. It is the served-system face of the repo — the
+// cancellable execution pipeline (predeval.QueryContext) is what makes a
+// shared server viable, since a slow or hung UDF can no longer pin a
+// worker past its deadline.
+//
+// Usage:
+//
+//	predsqld -addr :8080 -table loans=lc.csv -truth lc_labels.csv \
+//	         -udf good_credit -max-concurrent 8 -timeout 30s
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "...", "timeout_ms": 500, "limit": 100}
+//	               → columns, rows, row ids and execution stats as JSON.
+//	               408 if the request waited out its deadline in admission,
+//	               504 if the deadline expired mid-query, 400 on bad input.
+//	GET  /stats    server counters (served/failed/timeouts/…) + tables.
+//	GET  /healthz  liveness probe.
+//
+// Admission control is a counting semaphore (-max-concurrent): excess
+// queries queue until a slot frees or their deadline fires, so a burst
+// degrades to queueing latency instead of unbounded goroutine fan-out.
+// SIGINT/SIGTERM drain in-flight queries before exit (graceful shutdown).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cliutil"
+	"repro/internal/labels"
+)
+
+func main() {
+	var (
+		tables        cliutil.MultiFlag
+		addr          = flag.String("addr", ":8080", "listen address")
+		truth         = flag.String("truth", "", "labels CSV (id,label) backing the simulated UDF")
+		udf           = flag.String("udf", "good_credit", "UDF name to register")
+		seed          = flag.Uint64("seed", 1, "random seed")
+		parallelism   = flag.Int("parallelism", 0, "per-query UDF worker cap (0 = GOMAXPROCS)")
+		maxConcurrent = flag.Int("max-concurrent", 8, "queries admitted concurrently; excess queue")
+		timeout       = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+		maxTimeout    = flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested timeouts")
+		udfDelay      = flag.Duration("udf-delay", 0, "artificial latency per UDF call (simulates an expensive predicate)")
+	)
+	flag.Var(&tables, "table", "name=path CSV table (repeatable)")
+	flag.Parse()
+
+	if len(tables) == 0 || *truth == "" {
+		fmt.Fprintln(os.Stderr, "predsqld: -table and -truth are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db := predeval.Open(*seed)
+	if *parallelism > 0 {
+		db.SetParallelism(*parallelism)
+	}
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("predsqld: bad -table %q, want name=path", spec)
+		}
+		if err := db.LoadCSVFile(name, path); err != nil {
+			log.Fatalf("predsqld: %v", err)
+		}
+	}
+	truthLabels, err := labels.LoadFile(*truth)
+	if err != nil {
+		log.Fatalf("predsqld: %v", err)
+	}
+	pred := labels.Delayed(labels.Predicate(truthLabels), *udfDelay)
+	if err := db.RegisterUDF(*udf, pred, 0); err != nil {
+		log.Fatalf("predsqld: %v", err)
+	}
+
+	srv := newServer(db, serverConfig{
+		MaxConcurrent:  *maxConcurrent,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	// Header/read timeouts bound connection-level stalls (slow-loris); the
+	// per-query deadline machinery only starts once a request is decoded.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight queries, exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	log.Printf("predsqld: serving on %s (tables %v, max-concurrent %d)", *addr, db.TableNames(), *maxConcurrent)
+	select {
+	case err := <-done:
+		log.Fatalf("predsqld: %v", err)
+	case <-ctx.Done():
+	}
+	// Drain must outlast the longest admissible query deadline, or exit
+	// would cut in-flight queries off mid-run.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("predsqld: shutdown: %v", err)
+	}
+	log.Printf("predsqld: shut down (%d queries served in total), bye", srv.served.Load())
+}
+
+// serverConfig tunes the query server.
+type serverConfig struct {
+	// MaxConcurrent is the admission-control width: at most this many
+	// queries execute at once; excess requests queue until a slot frees or
+	// their deadline fires. ≤ 0 defaults to 8.
+	MaxConcurrent int
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// ≤ 0 defaults to 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts. ≤ 0 defaults to 5m.
+	MaxTimeout time.Duration
+}
+
+func (c *serverConfig) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+}
+
+// server wraps a predeval.DB with admission control and counters. The DB's
+// engine is safe for concurrent queries (per-query meters, mutex-guarded
+// caches), so one shared DB serves every request.
+type server struct {
+	db    *predeval.DB
+	cfg   serverConfig
+	sem   chan struct{}
+	start time.Time
+
+	served      atomic.Int64 // completed successfully
+	failed      atomic.Int64 // query/parse errors
+	timeouts    atomic.Int64 // deadline expired mid-query
+	rejected    atomic.Int64 // deadline expired waiting for admission
+	disconnects atomic.Int64 // client gone before the query finished
+	inflight    atomic.Int64 // currently executing (post-admission)
+}
+
+func newServer(db *predeval.DB, cfg serverConfig) *server {
+	cfg.fill()
+	return &server{
+		db:    db,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// TimeoutMS overrides the server's default per-request timeout
+	// (clamped to -max-timeout). 0 means the default.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// Limit caps the rows and row_ids serialized into the response
+	// (0 = all); row_count always reports the full result size. The query
+	// still executes fully; this only bounds the payload.
+	Limit int `json:"limit"`
+}
+
+// queryStats mirrors predeval.Stats for the wire.
+type queryStats struct {
+	Evaluations         int     `json:"evaluations"`
+	Retrievals          int     `json:"retrievals"`
+	Sampled             int     `json:"sampled"`
+	Cost                float64 `json:"cost"`
+	ChosenColumn        string  `json:"chosen_column,omitempty"`
+	Exact               bool    `json:"exact"`
+	AchievedRecallBound float64 `json:"achieved_recall_bound,omitempty"`
+}
+
+// queryResponse is the POST /query success payload.
+type queryResponse struct {
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	RowIDs    []int      `json:"row_ids"`
+	RowCount  int        `json:"row_count"`
+	Truncated bool       `json:"truncated"`
+	Stats     queryStats `json:"stats"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// errAdmission marks a request whose deadline fired while queueing for an
+// execution slot (reported 408, distinct from mid-query 504 timeouts).
+var errAdmission = errors.New("admission wait timed out")
+
+// statusClientClosedRequest is nginx's conventional 499 for a client that
+// disconnected before the response; net/http has no constant for it.
+const statusClientClosedRequest = 499
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Bound the request body: a query payload is SQL plus two ints, so 1MiB
+	// is generous — without this a single huge POST could exhaust memory
+	// before admission control ever runs.
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing sql"})
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	// The deadline covers admission waiting AND execution: a query that
+	// queues for its whole budget is answered 408 without ever running.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// The execution slot is held only while the engine runs — response
+	// encoding happens after release, so a slow-reading client cannot pin
+	// an admission slot past its query.
+	var started time.Time
+	var elapsed time.Duration
+	rows, err := func() (*predeval.Rows, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			// Distinguish "deadline ran out while queueing" (admission
+			// pressure, 408) from "client hung up while queueing" (499).
+			if errors.Is(ctx.Err(), context.Canceled) {
+				return nil, ctx.Err()
+			}
+			return nil, errAdmission
+		}
+		defer func() { <-s.sem }()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		started = time.Now()
+		defer func() { elapsed = time.Since(started) }()
+		return s.db.QueryContext(ctx, req.SQL)
+	}()
+	if err != nil {
+		switch {
+		case errors.Is(err, errAdmission):
+			s.rejected.Add(1)
+			writeJSON(w, http.StatusRequestTimeout,
+				errorResponse{Error: "timed out waiting for an execution slot"})
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout,
+				errorResponse{Error: fmt.Sprintf("query exceeded its %v deadline", timeout)})
+		case errors.Is(err, context.Canceled):
+			// The client went away mid-query; nobody reads this response,
+			// but count it apart from genuine query errors.
+			s.disconnects.Add(1)
+			writeJSON(w, statusClientClosedRequest, errorResponse{Error: err.Error()})
+		default:
+			s.failed.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+
+	n := rows.Len()
+	shown := n
+	if req.Limit > 0 && req.Limit < n {
+		shown = req.Limit
+	}
+	out := queryResponse{
+		Columns:   rows.Columns(),
+		Rows:      make([][]string, 0, shown),
+		RowIDs:    rows.RowIDs()[:shown],
+		RowCount:  n,
+		Truncated: shown < n,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+	}
+	for i := 0; i < shown; i++ {
+		out.Rows = append(out.Rows, rows.Row(i))
+	}
+	st := rows.Stats()
+	out.Stats = queryStats{
+		Evaluations:         st.Evaluations,
+		Retrievals:          st.Retrievals,
+		Sampled:             st.Sampled,
+		Cost:                st.Cost,
+		ChosenColumn:        st.ChosenColumn,
+		Exact:               st.Exact,
+		AchievedRecallBound: st.AchievedRecallBound,
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statsResponse is the GET /stats payload.
+type statsResponse struct {
+	UptimeS       float64        `json:"uptime_s"`
+	Served        int64          `json:"served"`
+	Failed        int64          `json:"failed"`
+	Timeouts      int64          `json:"timeouts"`
+	Rejected      int64          `json:"rejected"`
+	Disconnects   int64          `json:"disconnects"`
+	InFlight      int64          `json:"in_flight"`
+	MaxConcurrent int            `json:"max_concurrent"`
+	Tables        map[string]int `json:"tables"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	tables := make(map[string]int)
+	for _, name := range s.db.TableNames() {
+		if n, err := s.db.NumRows(name); err == nil {
+			tables[name] = n
+		}
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeS:       time.Since(s.start).Seconds(),
+		Served:        s.served.Load(),
+		Failed:        s.failed.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Rejected:      s.rejected.Load(),
+		Disconnects:   s.disconnects.Load(),
+		InFlight:      s.inflight.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		Tables:        tables,
+	})
+}

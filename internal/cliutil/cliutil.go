@@ -1,0 +1,17 @@
+// Package cliutil holds the tiny flag helpers shared by the command-line
+// tools (cmd/predsql, cmd/predsqld).
+package cliutil
+
+import "strings"
+
+// MultiFlag collects a repeatable string flag (e.g. -table name=path).
+type MultiFlag []string
+
+// String implements flag.Value.
+func (m *MultiFlag) String() string { return strings.Join(*m, ",") }
+
+// Set implements flag.Value.
+func (m *MultiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

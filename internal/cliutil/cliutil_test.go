@@ -1,0 +1,19 @@
+package cliutil
+
+import "testing"
+
+func TestMultiFlag(t *testing.T) {
+	var m MultiFlag
+	if err := m.Set("a=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b=2"); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "a=1,b=2" {
+		t.Fatalf("string %q", m.String())
+	}
+	if len(m) != 2 {
+		t.Fatalf("len %d", len(m))
+	}
+}

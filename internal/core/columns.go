@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -106,16 +107,27 @@ func LabelFraction(rows []int, fraction float64, udf UDF, rng Labeler) map[int]b
 // from the RNG before any evaluation starts, so the labeled set — and the
 // RNG stream seen by later phases — is identical at any parallelism level.
 func LabelFractionParallel(rows []int, fraction float64, udf UDF, rng Labeler, parallelism int) map[int]bool {
+	labeled, _ := LabelFractionParallelCtx(context.Background(), rows, fraction, udf, rng, parallelism)
+	return labeled
+}
+
+// LabelFractionParallelCtx is LabelFractionParallel honoring a context: a
+// cancel mid-labeling returns (nil, ctx.Err()) without handing back a
+// partial label map. The RNG draw happens before evaluation either way.
+func LabelFractionParallelCtx(ctx context.Context, rows []int, fraction float64, udf UDF, rng Labeler, parallelism int) (map[int]bool, error) {
 	k := int(math.Ceil(fraction * float64(len(rows))))
 	picks := rng.SampleWithoutReplacement(len(rows), k)
 	work := make([]int, len(picks))
 	for j, i := range picks {
 		work[j] = rows[i]
 	}
-	verdicts := exec.NewPool(parallelism).EvalRows(work, udf.Eval)
+	verdicts, err := exec.NewPool(parallelism).EvalRowsCtx(ctx, work, udf.Eval)
+	if err != nil {
+		return nil, err
+	}
 	labeled := make(map[int]bool, len(work))
 	for j, row := range work {
 		labeled[row] = verdicts[j]
 	}
-	return labeled
+	return labeled, nil
 }

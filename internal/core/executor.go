@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exec"
@@ -65,6 +66,14 @@ type execSlot struct {
 // sequential plan phase, so results are identical at every parallelism
 // level.
 func ExecuteParallel(groups []Group, s Strategy, samples []SampleOutcome, udf UDF, cost CostModel, rng *stats.RNG, parallelism int) (ExecResult, error) {
+	return ExecuteParallelCtx(context.Background(), groups, s, samples, udf, cost, rng, parallelism)
+}
+
+// ExecuteParallelCtx is ExecuteParallel honoring a context. The plan phase
+// (coin flips) is cheap and always completes, so the RNG is consumed
+// identically whether or not the evaluate phase is cancelled; a cancel
+// during evaluation returns ctx.Err() and an empty result.
+func ExecuteParallelCtx(ctx context.Context, groups []Group, s Strategy, samples []SampleOutcome, udf UDF, cost CostModel, rng *stats.RNG, parallelism int) (ExecResult, error) {
 	if len(groups) != s.Len() {
 		return ExecResult{}, fmt.Errorf("core: %d groups but strategy covers %d", len(groups), s.Len())
 	}
@@ -112,7 +121,10 @@ func ExecuteParallel(groups []Group, s Strategy, samples []SampleOutcome, udf UD
 	}
 
 	// Evaluate: fan the expensive calls out, then merge in plan order.
-	verdicts := exec.NewPool(parallelism).EvalRows(work, udf.Eval)
+	verdicts, err := exec.NewPool(parallelism).EvalRowsCtx(ctx, work, udf.Eval)
+	if err != nil {
+		return ExecResult{}, err
+	}
 	res.Evaluated = len(work)
 	for _, sl := range slots {
 		if sl.evalIdx < 0 || verdicts[sl.evalIdx] {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -156,23 +157,45 @@ func (s *Sampler) Preload(known map[int]bool) {
 // recorded in pop order — so the sampler's state after TopUp is identical
 // at any parallelism level.
 func (s *Sampler) TopUp(targets []int) (int, error) {
+	return s.TopUpCtx(context.Background(), targets)
+}
+
+// TopUpCtx is TopUp honoring a context. The sampler's state mutates only
+// after the whole batch evaluated successfully: a cancelled top-up returns
+// ctx.Err() with the un-sampled pools and outcomes exactly as they were, so
+// the sampler (and any shared meter beneath the UDF) stays reusable — a
+// later TopUp over the same targets re-plans the identical batch.
+func (s *Sampler) TopUpCtx(ctx context.Context, targets []int) (int, error) {
 	if len(targets) != len(s.groups) {
 		return 0, fmt.Errorf("core: %d targets for %d groups", len(targets), len(s.groups))
 	}
-	// Plan: pop the rows each group still owes, group-major.
+	// Plan: read (without popping) the rows each group still owes from the
+	// tail of its pre-shuffled pool, group-major, in pop order.
 	var work, groupOf []int
+	take := make([]int, len(s.groups))
 	for i := range s.groups {
 		want := targets[i] - len(s.outcomes[i].Results)
-		for k := 0; k < want && len(s.unsampled[i]) > 0; k++ {
-			last := len(s.unsampled[i]) - 1
-			row := s.unsampled[i][last]
-			s.unsampled[i] = s.unsampled[i][:last]
-			work = append(work, row)
+		if avail := len(s.unsampled[i]); want > avail {
+			want = avail
+		}
+		if want < 0 {
+			want = 0
+		}
+		last := len(s.unsampled[i]) - 1
+		for k := 0; k < want; k++ {
+			work = append(work, s.unsampled[i][last-k])
 			groupOf = append(groupOf, i)
 		}
+		take[i] = want
 	}
-	// Evaluate in parallel, then record sequentially.
-	verdicts := exec.NewPool(s.parallelism).EvalRows(work, s.udf.Eval)
+	// Evaluate in parallel; commit (pop + record) only on full success.
+	verdicts, err := exec.NewPool(s.parallelism).EvalRowsCtx(ctx, work, s.udf.Eval)
+	if err != nil {
+		return 0, err
+	}
+	for i, k := range take {
+		s.unsampled[i] = s.unsampled[i][:len(s.unsampled[i])-k]
+	}
 	for k, row := range work {
 		i := groupOf[k]
 		s.outcomes[i].Results[row] = verdicts[k]

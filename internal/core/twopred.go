@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exec"
@@ -34,6 +35,13 @@ func SampleTwoPredicates(groups []Group, targets []int, udf1, udf2 UDF, rng *sta
 // are drawn from the RNG up front (sequentially), so the sampled sets and
 // estimates are identical at any parallelism level.
 func SampleTwoPredicatesParallel(groups []Group, targets []int, udf1, udf2 UDF, rng *stats.RNG, parallelism int) ([]TwoPredSample, []TwoPredGroup, error) {
+	return SampleTwoPredicatesParallelCtx(context.Background(), groups, targets, udf1, udf2, rng, parallelism)
+}
+
+// SampleTwoPredicatesParallelCtx is SampleTwoPredicatesParallel honoring a
+// context: the sample rows are drawn from the RNG up front either way, and
+// a cancel during evaluation returns ctx.Err() with no partial samples.
+func SampleTwoPredicatesParallelCtx(ctx context.Context, groups []Group, targets []int, udf1, udf2 UDF, rng *stats.RNG, parallelism int) ([]TwoPredSample, []TwoPredGroup, error) {
 	if len(targets) != len(groups) {
 		return nil, nil, fmt.Errorf("core: %d targets for %d groups", len(targets), len(groups))
 	}
@@ -56,7 +64,10 @@ func SampleTwoPredicatesParallel(groups []Group, targets []int, udf1, udf2 UDF, 
 	// short-circuits: joint selectivities need both outcomes). The two
 	// lists are independent, so they run fused as one wave — two
 	// sequential barriers would double the latency for I/O-bound UDFs.
-	v1s, v2s := evalFused(work, udf1, work, udf2, parallelism)
+	v1s, v2s, err := evalFused(ctx, work, udf1, work, udf2, parallelism)
+	if err != nil {
+		return nil, nil, err
+	}
 	for k, row := range work {
 		i := groupOf[k]
 		v1, v2 := v1s[k], v2s[k]
@@ -85,18 +96,22 @@ func SampleTwoPredicatesParallel(groups []Group, targets []int, udf1, udf2 UDF, 
 // evalFused evaluates two independent work-lists (rows1 under udf1, rows2
 // under udf2) as a single pooled batch, returning each list's verdicts in
 // order. One batch instead of two sequential barriers halves wall-clock
-// latency when the pool is wider than either list alone.
-func evalFused(rows1 []int, udf1 UDF, rows2 []int, udf2 UDF, parallelism int) ([]bool, []bool) {
+// latency when the pool is wider than either list alone. A cancel returns
+// (nil, nil, ctx.Err()).
+func evalFused(ctx context.Context, rows1 []int, udf1 UDF, rows2 []int, udf2 UDF, parallelism int) ([]bool, []bool, error) {
 	v1 := make([]bool, len(rows1))
 	v2 := make([]bool, len(rows2))
-	exec.NewPool(parallelism).ForEach(len(rows1)+len(rows2), func(i int) {
+	err := exec.NewPool(parallelism).ForEachCtx(ctx, len(rows1)+len(rows2), func(i int) {
 		if i < len(rows1) {
 			v1[i] = udf1.Eval(rows1[i])
 		} else {
 			v2[i-len(rows1)] = udf2.Eval(rows2[i-len(rows1)])
 		}
 	})
-	return v1, v2
+	if err != nil {
+		return nil, nil, err
+	}
+	return v1, v2, nil
 }
 
 // TwoPredExecResult is the outcome of executing a two-predicate plan.
@@ -149,6 +164,13 @@ type tpSlot struct {
 // accounting (f2 is never charged for rows f1 rejected) is preserved
 // exactly, as are output order and all counters.
 func ExecuteTwoPredicatesParallel(groups []Group, acts []TwoPredAction, samples []TwoPredSample, udf1, udf2 UDF, cost CostModel, parallelism int) (TwoPredExecResult, error) {
+	return ExecuteTwoPredicatesParallelCtx(context.Background(), groups, acts, samples, udf1, udf2, cost, parallelism)
+}
+
+// ExecuteTwoPredicatesParallelCtx is ExecuteTwoPredicatesParallel honoring
+// a context: a cancel in either evaluation wave returns ctx.Err() and an
+// empty result.
+func ExecuteTwoPredicatesParallelCtx(ctx context.Context, groups []Group, acts []TwoPredAction, samples []TwoPredSample, udf1, udf2 UDF, cost CostModel, parallelism int) (TwoPredExecResult, error) {
 	if len(acts) != len(groups) {
 		return TwoPredExecResult{}, fmt.Errorf("core: %d actions for %d groups", len(acts), len(groups))
 	}
@@ -199,7 +221,10 @@ func ExecuteTwoPredicatesParallel(groups []Group, acts []TwoPredAction, samples 
 
 	// Wave 1: every needed f1 call plus the unconditional f2 calls, fused
 	// into one batch since the two lists are independent.
-	v1, v2 := evalFused(work1, udf1, work2, udf2, parallelism)
+	v1, v2, err := evalFused(ctx, work1, udf1, work2, udf2, parallelism)
+	if err != nil {
+		return TwoPredExecResult{}, err
+	}
 
 	// Wave 2: f2 on the TPEvalBoth rows that survived f1.
 	var work2b []int
@@ -215,7 +240,10 @@ func ExecuteTwoPredicatesParallel(groups []Group, acts []TwoPredAction, samples 
 			sl.idx2 = -1
 		}
 	}
-	v2b := exec.NewPool(parallelism).EvalRows(work2b, udf2.Eval)
+	v2b, err := exec.NewPool(parallelism).EvalRowsCtx(ctx, work2b, udf2.Eval)
+	if err != nil {
+		return TwoPredExecResult{}, err
+	}
 
 	res.Evaluated1 = len(work1)
 	res.Evaluated2 = len(work2) + len(work2b)
@@ -255,6 +283,14 @@ func RunTwoPredicates(groups []Group, udf1, udf2 UDF, cons Constraints, cost Cos
 // fanned across up to `parallelism` workers; planning stays sequential and
 // results are identical at any parallelism level.
 func RunTwoPredicatesParallel(groups []Group, udf1, udf2 UDF, cons Constraints, cost CostModel, alloc Allocator, rng *stats.RNG, parallelism int) (TwoPredExecResult, []TwoPredAction, error) {
+	return RunTwoPredicatesParallelCtx(context.Background(), groups, udf1, udf2, cons, cost, alloc, rng, parallelism)
+}
+
+// RunTwoPredicatesParallelCtx is RunTwoPredicatesParallel honoring a
+// context: both the sampling wave and the execution waves check it, so a
+// cancel mid-pipeline returns ctx.Err() after at most one in-flight UDF
+// call per worker.
+func RunTwoPredicatesParallelCtx(ctx context.Context, groups []Group, udf1, udf2 UDF, cons Constraints, cost CostModel, alloc Allocator, rng *stats.RNG, parallelism int) (TwoPredExecResult, []TwoPredAction, error) {
 	if alloc == nil {
 		alloc = TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}
 	}
@@ -269,7 +305,7 @@ func RunTwoPredicatesParallel(groups []Group, udf1, udf2 UDF, cons Constraints, 
 	}
 	m1 := NewMeter(udf1)
 	m2 := NewMeter(udf2)
-	samples, infos, err := SampleTwoPredicatesParallel(groups, alloc.Allocate(sizes), m1, m2, rng.Split(), parallelism)
+	samples, infos, err := SampleTwoPredicatesParallelCtx(ctx, groups, alloc.Allocate(sizes), m1, m2, rng.Split(), parallelism)
 	if err != nil {
 		return TwoPredExecResult{}, nil, err
 	}
@@ -299,7 +335,7 @@ func RunTwoPredicatesParallel(groups []Group, udf1, udf2 UDF, cons Constraints, 
 			acts[i] = TPEvalBoth
 		}
 	}
-	exec, err := ExecuteTwoPredicatesParallel(groups, acts, samples, m1, m2, cost, parallelism)
+	exec, err := ExecuteTwoPredicatesParallelCtx(ctx, groups, acts, samples, m1, m2, cost, parallelism)
 	if err != nil {
 		return TwoPredExecResult{}, nil, err
 	}

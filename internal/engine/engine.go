@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -91,6 +92,18 @@ func (e *Engine) RegisterTable(t *table.Table) error {
 	return nil
 }
 
+// TableNames lists the registered tables in sorted order.
+func (e *Engine) TableNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Table looks up a registered table.
 func (e *Engine) Table(name string) (*table.Table, error) {
 	e.mu.RLock()
@@ -174,7 +187,21 @@ func (e *Engine) costModel(q Query) core.CostModel {
 
 // Execute runs the query and returns the matching row ids plus statistics.
 func (e *Engine) Execute(q Query) (*Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute honoring a context: every UDF-evaluating phase
+// (labeling, sampling, execution, exact scans) checks the context between
+// work items, so a cancel or deadline returns ctx.Err() after at most one
+// in-flight UDF call per worker. A cancelled query leaves the engine fully
+// reusable — the cross-query outcome cache keeps every completed (and paid)
+// evaluation, no entry is ever stored partially, and a later run of the
+// same query completes normally. See DESIGN.md, "Cancellation contract".
+func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	tbl, err := e.Table(q.Table)
@@ -194,7 +221,7 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		return nil, err
 	}
 	if q.And != nil {
-		res, err := e.executeTwoPred(tbl, q, cost, subset)
+		res, err := e.executeTwoPred(ctx, tbl, q, cost, subset)
 		if err == nil && fault.Err() != nil {
 			return nil, fault.Err()
 		}
@@ -203,9 +230,9 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 	meter := e.meterFor(q, udf, fault)
 	var res *Result
 	if q.Approx == nil {
-		res, err = e.executeExact(tbl, meter, cost, subset)
+		res, err = e.executeExact(ctx, tbl, meter, cost, subset)
 	} else {
-		res, err = e.executeApprox(tbl, q, meter, cost, subset)
+		res, err = e.executeApprox(ctx, tbl, q, meter, cost, subset)
 	}
 	if err == nil && fault.Err() != nil {
 		return nil, fault.Err()
@@ -228,9 +255,12 @@ func universe(tbl *table.Table, subset []int) []int {
 // executeExact evaluates the UDF on every row of the scan. The batch fans
 // out across the engine's worker pool; verdicts land at their scan index,
 // so the output order matches the sequential scan exactly.
-func (e *Engine) executeExact(tbl *table.Table, meter *core.Meter, cost core.CostModel, subset []int) (*Result, error) {
+func (e *Engine) executeExact(ctx context.Context, tbl *table.Table, meter *core.Meter, cost core.CostModel, subset []int) (*Result, error) {
 	scan := universe(tbl, subset)
-	verdicts := e.pool().EvalRows(scan, meter.Eval)
+	verdicts, err := e.pool().EvalRowsCtx(ctx, scan, meter.Eval)
+	if err != nil {
+		return nil, err
+	}
 	var rows []int
 	for i, r := range scan {
 		if verdicts[i] {
@@ -249,13 +279,13 @@ func (e *Engine) executeExact(tbl *table.Table, meter *core.Meter, cost core.Cos
 	}, nil
 }
 
-func (e *Engine) executeApprox(tbl *table.Table, q Query, meter *core.Meter, cost core.CostModel, subset []int) (*Result, error) {
+func (e *Engine) executeApprox(ctx context.Context, tbl *table.Table, q Query, meter *core.Meter, cost core.CostModel, subset []int) (*Result, error) {
 	e.mu.Lock()
 	rng := e.rng.Split()
 	e.mu.Unlock()
 
 	cons := q.Approx.Constraints()
-	groups, chosen, labeled, err := e.resolveGroups(tbl, q, meter, cons, cost, rng, subset)
+	groups, chosen, labeled, err := e.resolveGroups(ctx, tbl, q, meter, cons, cost, rng, subset)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +298,7 @@ func (e *Engine) executeApprox(tbl *table.Table, q Query, meter *core.Meter, cos
 		sizes[i] = len(g.Rows)
 	}
 	alloc := core.TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}
-	if _, err := sampler.TopUp(alloc.Allocate(sizes)); err != nil {
+	if _, err := sampler.TopUpCtx(ctx, alloc.Allocate(sizes)); err != nil {
 		return nil, err
 	}
 	infos := sampler.Infos()
@@ -297,7 +327,7 @@ func (e *Engine) executeApprox(tbl *table.Table, q Query, meter *core.Meter, cos
 		}
 	}
 
-	exec, err := core.ExecuteParallel(groups, strat, sampler.Outcomes(), meter, cost, rng.Split(), e.parallelism())
+	exec, err := core.ExecuteParallelCtx(ctx, groups, strat, sampler.Outcomes(), meter, cost, rng.Split(), e.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -321,12 +351,12 @@ func (e *Engine) executeApprox(tbl *table.Table, q Query, meter *core.Meter, cos
 // column, a discovered correlated column, or the logistic-regression
 // virtual column. It returns the groups, the column's display name, and
 // any rows labeled along the way (row → outcome) for reuse.
-func (e *Engine) resolveGroups(tbl *table.Table, q Query, meter *core.Meter, cons core.Constraints, cost core.CostModel, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
+func (e *Engine) resolveGroups(ctx context.Context, tbl *table.Table, q Query, meter *core.Meter, cons core.Constraints, cost core.CostModel, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
 	switch q.GroupOn {
 	case "":
-		return e.discoverColumn(tbl, q, meter, cons, cost, rng, subset)
+		return e.discoverColumn(ctx, tbl, q, meter, cons, cost, rng, subset)
 	case VirtualColumn:
-		return e.virtualColumn(tbl, q, meter, rng, subset)
+		return e.virtualColumn(ctx, tbl, q, meter, rng, subset)
 	default:
 		groups, err := groupsFromColumn(tbl, q.GroupOn, subset)
 		if err != nil {
@@ -366,7 +396,7 @@ func groupsFromColumn(tbl *table.Table, column string, subset []int) ([]core.Gro
 // fraction of tuples, score every low-cardinality column with the
 // Section 3.2 planner, pick the cheapest. The labeled rows are returned
 // for reuse by the sampler.
-func (e *Engine) discoverColumn(tbl *table.Table, q Query, meter *core.Meter, cons core.Constraints, cost core.CostModel, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
+func (e *Engine) discoverColumn(ctx context.Context, tbl *table.Table, q Query, meter *core.Meter, cons core.Constraints, cost core.CostModel, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
 	var cands []core.Candidate
 	for i := 0; i < tbl.Schema().Len(); i++ {
 		def := tbl.Schema().Col(i)
@@ -393,7 +423,11 @@ func (e *Engine) discoverColumn(tbl *table.Table, q Query, meter *core.Meter, co
 	}
 	labeled := make(map[int]bool)
 	for attempt := 0; attempt < 8; attempt++ {
-		for row, v := range core.LabelFractionParallel(rows, frac, meter, rng, e.parallelism()) {
+		batch, err := core.LabelFractionParallelCtx(ctx, rows, frac, meter, rng, e.parallelism())
+		if err != nil {
+			return nil, "", nil, err
+		}
+		for row, v := range batch {
 			labeled[row] = v
 		}
 		choice, err := core.SelectColumn(cands, labeled, cons, cost)
@@ -411,7 +445,7 @@ func (e *Engine) discoverColumn(tbl *table.Table, q Query, meter *core.Meter, co
 // virtualColumn implements Section 6.3.2: label ~1% of rows, train a
 // logistic regression over the table's encodable features, score every
 // row, and bucket the scores into equal-frequency groups.
-func (e *Engine) virtualColumn(tbl *table.Table, q Query, meter *core.Meter, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
+func (e *Engine) virtualColumn(ctx context.Context, tbl *table.Table, q Query, meter *core.Meter, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
 	enc, err := ml.BuildEncoder(tbl, ml.Encoder{
 		MaxCardinality: e.MaxCandidateCardinality,
 		Exclude:        []string{q.UDFArg},
@@ -424,7 +458,10 @@ func (e *Engine) virtualColumn(tbl *table.Table, q Query, meter *core.Meter, rng
 	if frac <= 0 {
 		frac = 0.01
 	}
-	labeled := core.LabelFractionParallel(rows, frac, meter, rng, e.parallelism())
+	labeled, err := core.LabelFractionParallelCtx(ctx, rows, frac, meter, rng, e.parallelism())
+	if err != nil {
+		return nil, "", nil, err
+	}
 
 	// Train in sorted row order: ranging over the map would feed the
 	// gradient accumulation in Go's randomized iteration order, making

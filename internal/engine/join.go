@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,7 +28,16 @@ type SelectJoinQuery struct {
 // output rows are row ids of the base table (joined expansion is left to
 // the caller); guarantees are at the join-result level.
 func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
+	return e.ExecuteSelectJoinContext(context.Background(), q)
+}
+
+// ExecuteSelectJoinContext is ExecuteSelectJoin honoring a context (same
+// cancellation contract as ExecuteContext).
+func (e *Engine) ExecuteSelectJoinContext(ctx context.Context, q SelectJoinQuery) (*Result, error) {
 	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if q.Approx == nil {
@@ -87,8 +97,20 @@ func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 	for gi, g := range base {
 		for _, row := range g.Rows {
 			w := mult[leftCol.StringAt(row)]
+			if w == 0 {
+				// A tuple whose join key matches nothing can never appear in
+				// the join result: sampling or retrieving it would pay real
+				// UDF cost for an unreturnable tuple. Drop it before the
+				// sampler ever sees it.
+				continue
+			}
 			sub[subKey{gi, w}] = append(sub[subKey{gi, w}], row)
 		}
+	}
+	if len(sub) == 0 {
+		// Every tuple had multiplicity 0: the join result is empty, and no
+		// retrieval or evaluation is ever worth paying.
+		return &Result{Stats: Stats{ChosenColumn: q.GroupOn}}, nil
 	}
 	keys := make([]subKey, 0, len(sub))
 	for k := range sub {
@@ -116,7 +138,7 @@ func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 	for i, g := range groups {
 		sizes[i] = len(g.Rows)
 	}
-	if _, err := sampler.TopUp((core.TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}).Allocate(sizes)); err != nil {
+	if _, err := sampler.TopUpCtx(ctx, (core.TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}).Allocate(sizes)); err != nil {
 		return nil, err
 	}
 	infos := sampler.Infos()
@@ -134,7 +156,7 @@ func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 	}
 	// The strategy covers remaining tuples; execute over the groups with
 	// the sampler's outcomes honored.
-	exec, err := core.ExecuteParallel(groups, strat, sampler.Outcomes(), meter, cost, rng.Split(), e.parallelism())
+	exec, err := core.ExecuteParallelCtx(ctx, groups, strat, sampler.Outcomes(), meter, cost, rng.Split(), e.parallelism())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,10 +15,10 @@ import (
 // both with short-circuit).
 
 // executeTwoPred handles queries with an AND conjunction.
-func (e *Engine) executeTwoPred(tbl *table.Table, q Query, cost core.CostModel, subset []int) (*Result, error) {
+func (e *Engine) executeTwoPred(ctx context.Context, tbl *table.Table, q Query, cost core.CostModel, subset []int) (*Result, error) {
 	if q.Approx == nil {
 		// Exact conjunction: evaluate f1 on everything, f2 on survivors.
-		return e.executeTwoPredExact(tbl, q, cost, subset)
+		return e.executeTwoPredExact(ctx, tbl, q, cost, subset)
 	}
 	if q.GroupOn == "" || q.GroupOn == VirtualColumn {
 		return nil, fmt.Errorf("engine: AND conjunctions require an explicit GROUP ON column")
@@ -48,7 +49,7 @@ func (e *Engine) executeTwoPred(tbl *table.Table, q Query, cost core.CostModel, 
 		// Stats stay bit-identical at every parallelism level.
 		m2 = core.NewMeter(udf2)
 	}
-	res, _, err := core.RunTwoPredicatesParallel(groups, m1, m2, q.Approx.Constraints(), cost, nil, rng, e.parallelism())
+	res, _, err := core.RunTwoPredicatesParallelCtx(ctx, groups, m1, m2, q.Approx.Constraints(), cost, nil, rng, e.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +87,7 @@ func q2(q Query) Query {
 	return Query{Table: q.Table, UDFName: q.And.UDFName, UDFArg: q.And.UDFArg, Want: q.And.Want}
 }
 
-func (e *Engine) executeTwoPredExact(tbl *table.Table, q Query, cost core.CostModel, subset []int) (*Result, error) {
+func (e *Engine) executeTwoPredExact(ctx context.Context, tbl *table.Table, q Query, cost core.CostModel, subset []int) (*Result, error) {
 	udf1, fault1, err := e.rowUDF(tbl, q)
 	if err != nil {
 		return nil, err
@@ -102,14 +103,20 @@ func (e *Engine) executeTwoPredExact(tbl *table.Table, q Query, cost core.CostMo
 	// sequential m1.Eval(i) && m2.Eval(i) loop, in the same output order.
 	scan := universe(tbl, subset)
 	pool := e.pool()
-	v1 := pool.EvalRows(scan, m1.Eval)
+	v1, err := pool.EvalRowsCtx(ctx, scan, m1.Eval)
+	if err != nil {
+		return nil, err
+	}
 	var survivors []int
 	for i, r := range scan {
 		if v1[i] {
 			survivors = append(survivors, r)
 		}
 	}
-	v2 := pool.EvalRows(survivors, m2.Eval)
+	v2, err := pool.EvalRowsCtx(ctx, survivors, m2.Eval)
+	if err != nil {
+		return nil, err
+	}
 	var rows []int
 	for i, r := range survivors {
 		if v2[i] {

@@ -14,9 +14,17 @@
 // runtime.GOMAXPROCS: expensive predicates are frequently I/O-bound (remote
 // services, human labeling, disk), where oversubscribing cores is the whole
 // point. CPU-bound callers should pass runtime.GOMAXPROCS(0).
+//
+// Cancellation: the Ctx variants accept a context.Context and check it
+// between work items, so a cancel stops the batch after at most one
+// in-flight item per worker. A cancelled batch returns ctx.Err() and its
+// partial outputs must be discarded — items that did run completed fully
+// (an item is never abandoned mid-call), which is what keeps caller-side
+// memoization and shared caches consistent after a cancel.
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -52,8 +60,20 @@ func (p *Pool) Workers() int { return p.workers }
 // (in-flight chunks on other workers still finish) and the first captured
 // panic value is re-panicked on the calling goroutine.
 func (p *Pool) ForEach(n int, fn func(i int)) {
+	// context.Background() is never cancelled, so the error is always nil.
+	_ = p.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach honoring a context: every worker checks ctx between
+// work items, so after a cancel each worker finishes at most the one item
+// it had in flight and stops claiming more. If the context ends before all
+// n items ran, ForEachCtx returns ctx.Err(); items that did run completed
+// fully (none are abandoned mid-call). Outputs of a cancelled batch are
+// truncated, never reordered — but callers should discard them and
+// propagate the error.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := p.workers
 	if w > n {
@@ -61,9 +81,12 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	// Workers claim fixed-size chunks off an atomic cursor. Chunking
 	// amortizes the atomic op for cheap items while staying balanced for
@@ -73,11 +96,12 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		chunk = 1
 	}
 	var (
-		cursor  atomic.Int64
-		wg      sync.WaitGroup
-		panicMu sync.Mutex
-		panicV  any
-		panics  int
+		cursor    atomic.Int64
+		wg        sync.WaitGroup
+		cancelled atomic.Bool
+		panicMu   sync.Mutex
+		panicV    any
+		panics    int
 	)
 	for k := 0; k < w; k++ {
 		wg.Add(1)
@@ -92,11 +116,11 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 				if end > n {
 					end = n
 				}
-				if !runChunk(start, end, fn, &panicMu, &panicV, &panics) {
+				if !runChunk(ctx, start, end, fn, &cancelled, &panicMu, &panicV, &panics) {
 					// Park the cursor past the end so idle workers stop
-					// claiming chunks: once a panic is destined to discard
-					// the batch, further expensive calls are pure waste.
-					// In-flight chunks still finish.
+					// claiming chunks: once a panic or cancel is destined to
+					// discard the batch, further expensive calls are pure
+					// waste. In-flight chunks still finish their current item.
 					cursor.Store(int64(n))
 					return
 				}
@@ -107,11 +131,16 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if panics > 0 {
 		panic(panicV)
 	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
-// runChunk executes one claimed chunk, recording the first panic; it
-// reports whether the worker should keep claiming work.
-func runChunk(start, end int, fn func(int), mu *sync.Mutex, first *any, count *int) (ok bool) {
+// runChunk executes one claimed chunk, checking the context before every
+// item and recording the first panic; it reports whether the worker should
+// keep claiming work.
+func runChunk(ctx context.Context, start, end int, fn func(int), cancelled *atomic.Bool, mu *sync.Mutex, first *any, count *int) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			mu.Lock()
@@ -124,6 +153,10 @@ func runChunk(start, end int, fn func(int), mu *sync.Mutex, first *any, count *i
 		}
 	}()
 	for i := start; i < end; i++ {
+		if ctx.Err() != nil {
+			cancelled.Store(true)
+			return false
+		}
 		fn(i)
 	}
 	return true
@@ -136,4 +169,15 @@ func (p *Pool) EvalRows(rows []int, pred func(row int) bool) []bool {
 	out := make([]bool, len(rows))
 	p.ForEach(len(rows), func(i int) { out[i] = pred(rows[i]) })
 	return out
+}
+
+// EvalRowsCtx is EvalRows honoring a context. On cancellation it returns
+// (nil, ctx.Err()): the partial verdicts are withheld so no caller can
+// mistake a truncated batch for a complete one.
+func (p *Pool) EvalRowsCtx(ctx context.Context, rows []int, pred func(row int) bool) ([]bool, error) {
+	out := make([]bool, len(rows))
+	if err := p.ForEachCtx(ctx, len(rows), func(i int) { out[i] = pred(rows[i]) }); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

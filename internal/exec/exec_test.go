@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -128,5 +129,102 @@ func TestEvalRowsOrder(t *testing.T) {
 	}
 	if out := NewPool(3).EvalRows(nil, func(int) bool { return true }); len(out) != 0 {
 		t.Fatalf("empty input produced %v", out)
+	}
+}
+
+func TestForEachCtxNilErrorOnCompletion(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := NewPool(workers).ForEachCtx(context.Background(), 500, func(int) { ran.Add(1) })
+		if err != nil {
+			t.Fatalf("workers=%d: err %v", workers, err)
+		}
+		if ran.Load() != 500 {
+			t.Fatalf("workers=%d: ran %d of 500", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		called := atomic.Bool{}
+		err := NewPool(workers).ForEachCtx(ctx, 100, func(int) { called.Store(true) })
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err %v, want context.Canceled", workers, err)
+		}
+		if called.Load() {
+			t.Fatalf("workers=%d: fn ran under a dead context", workers)
+		}
+	}
+}
+
+func TestForEachCtxCancelStopsPromptly(t *testing.T) {
+	// Items block until released; after a cancel each worker may finish only
+	// the one item it had in flight, so the executed count is bounded by
+	// (items started before cancel) ≤ workers.
+	const workers, n = 4, 100000
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	firstIn := make(chan struct{}, 1)
+	err := func() error {
+		go func() {
+			<-firstIn
+			cancel()
+			close(release)
+		}()
+		return NewPool(workers).ForEachCtx(ctx, n, func(int) {
+			if started.Add(1) == 1 {
+				firstIn <- struct{}{}
+			}
+			<-release
+		})
+	}()
+	if err != context.Canceled {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	// Each worker had at most one item in flight when the cancel landed;
+	// nothing new may start afterwards beyond those already claimed.
+	if got := started.Load(); got > workers {
+		t.Fatalf("%d items ran; cancellation allows at most %d in-flight", got, workers)
+	}
+}
+
+func TestEvalRowsCtxWithholdsPartialVerdicts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	rows := make([]int, 1000)
+	for i := range rows {
+		rows[i] = i
+	}
+	var n atomic.Int64
+	out, err := NewPool(2).EvalRowsCtx(ctx, rows, func(r int) bool {
+		if n.Add(1) == 10 {
+			cancel()
+		}
+		return true
+	})
+	if err != context.Canceled {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled batch returned verdicts %v", out[:5])
+	}
+	// Sequential path too.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var m int
+	out, err = NewPool(1).EvalRowsCtx(ctx2, rows, func(r int) bool {
+		m++
+		if m == 5 {
+			cancel2()
+		}
+		return true
+	})
+	if err != context.Canceled || out != nil {
+		t.Fatalf("sequential cancel: out %v err %v", out, err)
+	}
+	if m != 5 {
+		t.Fatalf("sequential path ran %d items past the cancel", m)
 	}
 }

@@ -4,13 +4,20 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
 // ReadCSV loads a table from CSV. The first record is the header. Column
-// types are inferred from the data: a column is Int if every value parses
-// as an integer, Float if every value parses as a number, else String.
-// Empty files (no header) are an error.
+// types are inferred from the data: a column is Int if every non-empty
+// value parses as an integer, Float if every non-empty value parses as a
+// finite number, else String. Empty cells do not vote during inference and
+// load as the column's zero value (0, 0.0 or ""); a column with no
+// non-empty cells is String. Callers keying on a numeric column (e.g. a
+// simulated-UDF id) should note that an empty cell is indistinguishable
+// from a literal 0 after loading. Non-finite spellings ("NaN", "Inf", …)
+// are text, not numbers — they would otherwise smuggle NaN/Inf into typed
+// filters and grouping. Empty files (no header) are an error.
 func ReadCSV(name string, r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = false
@@ -38,12 +45,20 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 		for i, cell := range rec {
 			switch types[i] {
 			case Int:
+				if cell == "" {
+					vals[i] = int64(0)
+					continue
+				}
 				v, err := strconv.ParseInt(cell, 10, 64)
 				if err != nil {
 					return nil, fmt.Errorf("table: csv row %d col %q: %w", rowIdx+2, header[i], err)
 				}
 				vals[i] = v
 			case Float:
+				if cell == "" {
+					vals[i] = float64(0)
+					continue
+				}
 				v, err := strconv.ParseFloat(cell, 64)
 				if err != nil {
 					return nil, fmt.Errorf("table: csv row %d col %q: %w", rowIdx+2, header[i], err)
@@ -63,16 +78,24 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 func inferTypes(header []string, body [][]string) []Type {
 	types := make([]Type, len(header))
 	for i := range types {
-		allInt, allFloat := true, true
+		allInt, allFloat, nonEmpty := true, true, false
 		for _, rec := range body {
 			if i >= len(rec) {
 				continue
 			}
 			cell := rec[i]
+			if cell == "" {
+				// A missing value says nothing about the column's type; it
+				// must not demote an otherwise-numeric column to String.
+				continue
+			}
+			nonEmpty = true
 			if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
 				allInt = false
 			}
-			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			if f, err := strconv.ParseFloat(cell, 64); err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+				// ParseFloat accepts "NaN"/"Inf" spellings; keep those
+				// columns String so typed comparisons stay total.
 				allFloat = false
 			}
 			if !allInt && !allFloat {
@@ -80,7 +103,7 @@ func inferTypes(header []string, body [][]string) []Type {
 			}
 		}
 		switch {
-		case len(body) == 0:
+		case !nonEmpty:
 			types[i] = String
 		case allInt:
 			types[i] = Int

@@ -30,9 +30,15 @@
 // (table, UDF, column) across queries, so production traffic repeating
 // predicates over the same rows never re-pays the evaluation cost; see
 // DESIGN.md for the determinism contract and cache semantics.
+//
+// QueryContext adds per-query deadlines and cancellation: workers check
+// the context between UDF calls, so a cancel returns ctx.Err() within one
+// in-flight call per worker and the database stays reusable. cmd/predsqld
+// serves the engine over HTTP with per-request timeouts built on it.
 package predeval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -135,6 +141,12 @@ type Stats struct {
 	Cost float64
 	// ChosenColumn is the correlated (possibly virtual) column used.
 	ChosenColumn string
+	// Sampled is the number of tuples examined while estimating
+	// selectivities (labeling + sampling). Zero for exact queries. On a
+	// cold UDF cache every sampled tuple is also an Evaluation; when the
+	// cross-query cache is warm, sampled tuples served from cache are not
+	// charged, so Sampled may exceed Evaluations.
+	Sampled int
 	// Exact reports whether the query ran without approximation.
 	Exact bool
 	// AchievedRecallBound is set for BUDGET queries.
@@ -169,6 +181,16 @@ func (r *Rows) Stats() Stats { return r.stats }
 // package documentation and internal/sqlparse). It returns the
 // materialized result.
 func (db *DB) Query(sql string) (*Rows, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query honoring a context: cancel it (or attach a
+// deadline) and the engine stops evaluating UDFs promptly — within at most
+// one in-flight UDF call per worker — returning ctx.Err(). A cancelled
+// query leaves the database fully reusable, and every UDF outcome computed
+// before the cancel stays in the cross-query cache, so re-running the query
+// resumes from paid-for work. See DESIGN.md, "Cancellation contract".
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Rows, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -179,12 +201,12 @@ func (db *DB) Query(sql string) (*Rows, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err = db.eng.ExecuteSelectJoin(sj)
+		res, err = db.eng.ExecuteSelectJoinContext(ctx, sj)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		res, err = db.eng.Execute(stmt.Query)
+		res, err = db.eng.ExecuteContext(ctx, stmt.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +223,7 @@ func (db *DB) Query(sql string) (*Rows, error) {
 			Retrievals:          res.Stats.Retrievals,
 			Cost:                res.Stats.Cost,
 			ChosenColumn:        res.Stats.ChosenColumn,
+			Sampled:             res.Stats.Sampled,
 			Exact:               res.Stats.Exact,
 			AchievedRecallBound: res.Stats.AchievedRecallBound,
 		},
@@ -216,7 +239,11 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	return rows, nil
 }
 
-// TableNames lists the registered tables... exposed for tooling.
+// TableNames lists the registered tables in sorted order.
+func (db *DB) TableNames() []string { return db.eng.TableNames() }
+
+// NumRows reports the row count of a registered table... exposed for
+// tooling.
 func (db *DB) NumRows(tableName string) (int, error) {
 	tbl, err := db.eng.Table(tableName)
 	if err != nil {

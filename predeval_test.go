@@ -105,6 +105,12 @@ func TestQueryApproximate(t *testing.T) {
 	if st.Cost <= 0 || st.Retrievals <= 0 {
 		t.Fatalf("stats %+v", st)
 	}
+	// Regression: the engine's Sampled count must survive the trip through
+	// the public Stats, so callers can split estimation from execution
+	// cost. On this cold cache every sampled tuple was also charged.
+	if st.Sampled <= 0 || st.Sampled > st.Evaluations {
+		t.Fatalf("Sampled %d not in (0, Evaluations=%d]", st.Sampled, st.Evaluations)
+	}
 }
 
 func TestQueryBudget(t *testing.T) {
