@@ -343,3 +343,70 @@ func BenchmarkParallelApprox(b *testing.B) {
 		})
 	}
 }
+
+// ------------------------------------------------------ durable catalog
+
+// BenchmarkCatalogWarmRestart measures the durability subsystem's payoff:
+// after a "restart" (fresh DB, same catalog directory) the repeated
+// workload — one exact and one approximate query — runs against persisted
+// verdicts and statistics. evaluations/op reports the UDF invocations the
+// warm runs paid; with the catalog in place it is zero.
+func BenchmarkCatalogWarmRestart(b *testing.B) {
+	const n = 3000
+	rng := stats.NewRNG(11)
+	var sb strings.Builder
+	sb.WriteString("id,grade\n")
+	truth := make(map[int64]bool, n)
+	grades := []string{"A", "B", "C"}
+	sels := []float64{0.9, 0.5, 0.1}
+	for i := 0; i < n; i++ {
+		truth[int64(i)] = rng.Bernoulli(sels[i%3])
+		fmt.Fprintf(&sb, "%d,%s\n", i, grades[i%3])
+	}
+	csv := sb.String()
+	openDB := func(dir string) *predeval.DB {
+		db := predeval.Open(1)
+		if err := db.LoadCSV("loans", strings.NewReader(csv)); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.RegisterUDF("good_credit", func(v any) bool { return truth[v.(int64)] }, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.OpenCatalog(dir); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	const (
+		exactSQL  = "SELECT id FROM loans WHERE good_credit(id) = 1"
+		approxSQL = "SELECT id FROM loans WHERE good_credit(id) = 1 WITH PRECISION 0.8 RECALL 0.8 PROBABILITY 0.8"
+	)
+	workload := func(db *predeval.DB) int {
+		evals := 0
+		for _, sql := range []string{exactSQL, approxSQL} {
+			rows, err := db.Query(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			evals += rows.Stats().Evaluations
+		}
+		return evals
+	}
+
+	dir := b.TempDir()
+	cold := openDB(dir) // pay the workload once, durably
+	workload(cold)
+	if err := cold.CloseCatalog(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	warmEvals := 0
+	for i := 0; i < b.N; i++ {
+		db := openDB(dir)
+		warmEvals += workload(db)
+		if err := db.CloseCatalog(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(warmEvals)/float64(b.N), "evaluations/op")
+}

@@ -1,0 +1,156 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON perf snapshot, so CI can archive one
+// BENCH_<rev>.json artifact per revision and the project's performance
+// trajectory can be tracked and diffed over time.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x ./... | benchjson -rev abc1234 -o BENCH_abc1234.json
+//
+// Every benchmark line becomes one entry carrying the package, the
+// benchmark name, GOMAXPROCS suffix, iteration count and every reported
+// metric (ns/op, B/op, allocs/op and custom b.ReportMetric units like
+// udfcalls/op). Non-benchmark lines are ignored, so the raw `go test`
+// stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark's name without the "Benchmark" prefix or the
+	// -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (from the `pkg:` header).
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int `json:"iterations"`
+	// Metrics maps unit → value for every "value unit" pair on the line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the emitted JSON document.
+type Snapshot struct {
+	// Rev identifies the source revision (-rev).
+	Rev string `json:"rev"`
+	// GoVersion and Host describe the toolchain and platform.
+	GoVersion string `json:"go_version"`
+	Host      string `json:"host"`
+	// CPU echoes the `cpu:` header when the bench output carried one.
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rev := fs.String("rev", "dev", "revision identifier recorded in the snapshot")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	snap, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
+		return 1
+	}
+	snap.Rev = *rev
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parse consumes `go test -bench` output and collects benchmark lines.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		GoVersion: runtime.Version(),
+		Host:      runtime.GOOS + "/" + runtime.GOARCH,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line, pkg); ok {
+				snap.Benchmarks = append(snap.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// parseBenchLine decodes one result line, e.g.
+//
+//	BenchmarkFig1a-8   2   123456 ns/op   42.0 udfcalls/op
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one value/unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Benchmark{}, false
+	}
+	metrics := make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return Benchmark{Name: name, Pkg: pkg, Procs: procs, Iterations: iters, Metrics: metrics}, true
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkTable1Example-8   	       1	 123456789 ns/op
+BenchmarkIntelSamplePipeline-8 	       2	  98765 ns/op	  42.5 udfcalls/op
+PASS
+ok  	repro	1.234s
+pkg: repro/internal/solver
+BenchmarkKnapsack   	    1000	      1234 ns/op	     512 B/op	       3 allocs/op
+PASS
+ok  	repro/internal/solver	0.567s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	b0 := snap.Benchmarks[0]
+	if b0.Name != "Table1Example" || b0.Pkg != "repro" || b0.Procs != 8 || b0.Iterations != 1 {
+		t.Fatalf("first benchmark: %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 123456789 {
+		t.Fatalf("ns/op: %v", b0.Metrics)
+	}
+	b1 := snap.Benchmarks[1]
+	if b1.Metrics["udfcalls/op"] != 42.5 {
+		t.Fatalf("custom metric lost: %+v", b1.Metrics)
+	}
+	b2 := snap.Benchmarks[2]
+	if b2.Name != "Knapsack" || b2.Pkg != "repro/internal/solver" || b2.Procs != 1 {
+		t.Fatalf("pkg header not tracked: %+v", b2)
+	}
+	if b2.Metrics["B/op"] != 512 || b2.Metrics["allocs/op"] != 3 {
+		t.Fatalf("alloc metrics: %+v", b2.Metrics)
+	}
+	if snap.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("cpu header: %q", snap.CPU)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-rev", "abc1234", "-o", out}, strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Rev != "abc1234" || len(snap.Benchmarks) != 3 || snap.GoVersion == "" {
+		t.Fatalf("snapshot: rev=%q n=%d go=%q", snap.Rev, len(snap.Benchmarks), snap.GoVersion)
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, strings.NewReader(sampleBench), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"udfcalls/op": 42.5`) {
+		t.Fatalf("stdout snapshot missing metric:\n%s", stdout.String())
+	}
+}
+
+func TestRunNoBenchmarks(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, strings.NewReader("PASS\nok repro 0.1s\n"), &stdout, &stderr); code != 1 {
+		t.Fatalf("empty input exited %d, want 1", code)
+	}
+}
+
+func TestParseIgnoresMalformedLines(t *testing.T) {
+	malformed := "BenchmarkBroken-8 not-a-number 12 ns/op\nBenchmarkOdd-4 3 99\n"
+	snap, err := parse(strings.NewReader(malformed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Fatalf("malformed lines parsed: %+v", snap.Benchmarks)
+	}
+}

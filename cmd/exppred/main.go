@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,29 +24,39 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable arguments and streams (testable): it
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("exppred", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp   = flag.String("exp", "", "experiment id, comma-separated list, or 'all'")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		scale = flag.Float64("scale", 1.0, "dataset scale factor (1 = paper sizes)")
-		iters = flag.Int("iters", 0, "override per-experiment iteration counts")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		alpha = flag.Float64("alpha", 0.8, "default precision bound")
-		beta  = flag.Float64("beta", 0.8, "default recall bound")
-		rho   = flag.Float64("rho", 0.8, "default satisfaction probability")
+		exp   = fs.String("exp", "", "experiment id, comma-separated list, or 'all'")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
+		scale = fs.Float64("scale", 1.0, "dataset scale factor (1 = paper sizes)")
+		iters = fs.Int("iters", 0, "override per-experiment iteration counts")
+		seed  = fs.Uint64("seed", 1, "random seed")
+		alpha = fs.Float64("alpha", 0.8, "default precision bound")
+		beta  = fs.Float64("beta", 0.8, "default recall bound")
+		rho   = fs.Float64("rho", 0.8, "default satisfaction probability")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			e, _ := experiments.Lookup(id)
-			fmt.Printf("%-16s %s\n", id, e.Title)
+			fmt.Fprintf(stdout, "%-16s %s\n", id, e.Title)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "exppred: specify -exp <id>|all or -list")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "exppred: specify -exp <id>|all or -list")
+		fs.Usage()
+		return 2
 	}
 
 	runner := experiments.New(experiments.Config{
@@ -55,7 +66,7 @@ func main() {
 		Alpha:      *alpha,
 		Beta:       *beta,
 		Rho:        *rho,
-		Out:        os.Stdout,
+		Out:        stdout,
 	})
 
 	var ids []string
@@ -69,9 +80,10 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		if _, err := runner.Run(id); err != nil {
-			fmt.Fprintf(os.Stderr, "exppred: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "exppred: %s: %v\n", id, err)
+			return 1
 		}
-		fmt.Printf("(%s took %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s took %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	for _, id := range experiments.IDs() {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("-list output missing experiment %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "table1", "-scale", "0.02", "-iters", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("table1 exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "table1 took") {
+		t.Fatalf("experiment did not report its duration:\n%s", out.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("experiment produced no output")
+	}
+}
+
+func TestRunCommaSeparatedTrimsSpaces(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", " table1 ", "-scale", "0.02", "-iters", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("whitespace id exited %d: %s", code, errOut.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "no-such-figure"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown experiment exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no-such-figure") {
+		t.Fatalf("error does not name the experiment: %s", errOut.String())
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no args exited %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

@@ -23,6 +23,14 @@
 // queries queue until a slot frees or their deadline fires, so a burst
 // degrades to queueing latency instead of unbounded goroutine fan-out.
 // SIGINT/SIGTERM drain in-flight queries before exit (graceful shutdown).
+//
+// With -data-dir the server runs on a durable statistics & outcome
+// catalog: every paid-for UDF verdict, sampling outcome and learned
+// correlated-column choice is flushed to disk periodically
+// (-flush-interval) and on drain, so a restarted server warm-starts
+// instead of re-paying the most expensive work. GET /stats reports the
+// catalog contents and warm-start counters alongside the cross-query
+// cache hit/miss totals.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -57,6 +66,8 @@ func main() {
 		timeout       = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 		maxTimeout    = flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested timeouts")
 		udfDelay      = flag.Duration("udf-delay", 0, "artificial latency per UDF call (simulates an expensive predicate)")
+		dataDir       = flag.String("data-dir", "", "durable catalog directory: UDF verdicts and learned statistics persist across restarts (empty = in-memory only)")
+		flushInterval = flag.Duration("flush-interval", 30*time.Second, "how often the catalog is flushed to disk (0 disables the periodic flush; the drain still flushes)")
 	)
 	flag.Var(&tables, "table", "name=path CSV table (repeatable)")
 	flag.Parse()
@@ -89,11 +100,24 @@ func main() {
 		log.Fatalf("predsqld: %v", err)
 	}
 
+	if *dataDir != "" {
+		if err := db.OpenCatalog(*dataDir); err != nil {
+			log.Fatalf("predsqld: %v", err)
+		}
+		if rec := db.Catalog().Recovery(); rec.Truncated {
+			log.Printf("predsqld: catalog recovered a damaged tail (%s); facts since the last flush were lost and will be re-paid", rec.Note)
+		}
+		st := db.Catalog().Stats()
+		log.Printf("predsqld: catalog %s warm with %d verdicts, %d sample rows, %d column memos",
+			*dataDir, st.OutcomeRows, st.SampleRows, st.ColumnMemos)
+	}
+
 	srv := newServer(db, serverConfig{
 		MaxConcurrent:  *maxConcurrent,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	})
+	stopFlusher := srv.startCatalogFlusher(*flushInterval)
 	// Header/read timeouts bound connection-level stalls (slow-loris); the
 	// per-query deadline machinery only starts once a request is decoded.
 	httpSrv := &http.Server{
@@ -121,6 +145,12 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("predsqld: shutdown: %v", err)
+	}
+	// Flush-on-drain: every verdict paid for during this life becomes
+	// durable (and the log is compacted) before exit.
+	stopFlusher()
+	if err := db.CloseCatalog(); err != nil {
+		log.Printf("predsqld: catalog close: %v", err)
 	}
 	log.Printf("predsqld: shut down (%d queries served in total), bye", srv.served.Load())
 }
@@ -165,6 +195,56 @@ type server struct {
 	rejected    atomic.Int64 // deadline expired waiting for admission
 	disconnects atomic.Int64 // client gone before the query finished
 	inflight    atomic.Int64 // currently executing (post-admission)
+
+	flushes     atomic.Int64 // completed catalog flushes
+	flushErrors atomic.Int64 // failed catalog flushes
+	lastFlush   atomic.Int64 // unix seconds of the last successful flush
+}
+
+// flushCatalog persists everything learned since the last flush. Safe to
+// call concurrently with queries; no-op without an attached catalog.
+func (s *server) flushCatalog() {
+	if s.db.Catalog() == nil {
+		return
+	}
+	if err := s.db.FlushCatalog(); err != nil {
+		s.flushErrors.Add(1)
+		log.Printf("predsqld: catalog flush: %v", err)
+		return
+	}
+	s.flushes.Add(1)
+	s.lastFlush.Store(time.Now().Unix())
+}
+
+// startCatalogFlusher flushes the catalog every interval until the
+// returned stop function is called. stop waits for any in-flight flush,
+// so the caller can safely close the catalog afterwards. With no catalog
+// or a non-positive interval it does nothing (the drain-time flush still
+// runs).
+func (s *server) startCatalogFlusher(interval time.Duration) (stop func()) {
+	if s.db.Catalog() == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.flushCatalog()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
 }
 
 func newServer(db *predeval.DB, cfg serverConfig) *server {
@@ -209,6 +289,8 @@ type queryStats struct {
 	ChosenColumn        string  `json:"chosen_column,omitempty"`
 	Exact               bool    `json:"exact"`
 	AchievedRecallBound float64 `json:"achieved_recall_bound,omitempty"`
+	CacheHits           int     `json:"cache_hits"`
+	CacheMisses         int     `json:"cache_misses"`
 }
 
 // queryResponse is the POST /query success payload.
@@ -336,9 +418,32 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ChosenColumn:        st.ChosenColumn,
 		Exact:               st.Exact,
 		AchievedRecallBound: st.AchievedRecallBound,
+		CacheHits:           st.CacheHits,
+		CacheMisses:         st.CacheMisses,
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// cacheStats is the cross-query outcome-cache section of GET /stats.
+type cacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// catalogStats is the durable-catalog section of GET /stats (present only
+// when the server runs with -data-dir).
+type catalogStats struct {
+	Dir            string `json:"dir"`
+	OutcomeRows    int    `json:"outcome_rows"`
+	SampleRows     int    `json:"sample_rows"`
+	ColumnMemos    int    `json:"column_memos"`
+	ColumnMemoHits int64  `json:"column_memo_hits"`
+	SeededRows     int64  `json:"seeded_rows"`
+	Flushes        int64  `json:"flushes"`
+	FlushErrors    int64  `json:"flush_errors,omitempty"`
+	LastFlushUnix  int64  `json:"last_flush_unix,omitempty"`
+	Recovered      bool   `json:"recovered,omitempty"`
 }
 
 // statsResponse is the GET /stats payload.
@@ -352,6 +457,8 @@ type statsResponse struct {
 	InFlight      int64          `json:"in_flight"`
 	MaxConcurrent int            `json:"max_concurrent"`
 	Tables        map[string]int `json:"tables"`
+	Cache         cacheStats     `json:"cache"`
+	Catalog       *catalogStats  `json:"catalog,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -361,7 +468,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			tables[name] = n
 		}
 	}
-	writeJSON(w, http.StatusOK, statsResponse{
+	cc := s.db.CacheCounters()
+	resp := statsResponse{
 		UptimeS:       time.Since(s.start).Seconds(),
 		Served:        s.served.Load(),
 		Failed:        s.failed.Load(),
@@ -371,5 +479,22 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		InFlight:      s.inflight.Load(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
 		Tables:        tables,
-	})
+		Cache:         cacheStats{Hits: cc.Hits, Misses: cc.Misses},
+	}
+	if cat := s.db.Catalog(); cat != nil {
+		st := cat.Stats()
+		resp.Catalog = &catalogStats{
+			Dir:            cat.Dir(),
+			OutcomeRows:    st.OutcomeRows,
+			SampleRows:     st.SampleRows,
+			ColumnMemos:    st.ColumnMemos,
+			ColumnMemoHits: cc.ColumnMemoHits,
+			SeededRows:     cc.SeededRows,
+			Flushes:        s.flushes.Load(),
+			FlushErrors:    s.flushErrors.Load(),
+			LastFlushUnix:  s.lastFlush.Load(),
+			Recovered:      st.Recovered,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

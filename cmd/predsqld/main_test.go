@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -287,4 +288,137 @@ func TestServerFaultingUDFSurfaces(t *testing.T) {
 	if !strings.Contains(string(body), "non-numeric string id") {
 		t.Fatalf("fault not surfaced: %s", body)
 	}
+}
+
+// catalogServer is testServer with the cross-query cache ENABLED and a
+// durable catalog attached in dir — the production persistence setup.
+// The table and truth are derived from a fixed seed, so successive
+// servers simulate restarts over the same data.
+func catalogServer(t *testing.T, n int, dir string) (*server, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	rng := stats.NewRNG(9)
+	var sb strings.Builder
+	sb.WriteString("id,grade\n")
+	truth := make(map[int64]bool, n)
+	grades := []string{"A", "B", "C"}
+	sels := []float64{0.9, 0.5, 0.1}
+	for i := 0; i < n; i++ {
+		truth[int64(i)] = rng.Bernoulli(sels[i%3])
+		fmt.Fprintf(&sb, "%d,%s\n", i, grades[i%3])
+	}
+	db := predeval.Open(1)
+	if err := db.LoadCSV("loans", strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	calls := new(atomic.Int64)
+	if err := db.RegisterUDF("good_credit", func(v any) bool {
+		calls.Add(1)
+		return truth[v.(int64)]
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.OpenCatalog(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.CloseCatalog() })
+	srv := newServer(db, serverConfig{})
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, calls
+}
+
+// TestServerDataDirPersistence drives the persistence wiring end to end:
+// serve a workload, flush, "restart" onto the same data dir, and observe
+// the repeated workload costing zero evaluations, with the catalog and
+// cache counters visible in GET /stats.
+func TestServerDataDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	const n = 300
+	req := queryRequest{SQL: "SELECT * FROM loans WHERE good_credit(id) = 1"}
+
+	srv1, ts1, calls1 := catalogServer(t, n, dir)
+	status, body := mustPostQuery(t, ts1.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var out1 queryResponse
+	if err := json.Unmarshal(body, &out1); err != nil {
+		t.Fatal(err)
+	}
+	if calls1.Load() != n || out1.Stats.CacheMisses != n {
+		t.Fatalf("cold run: %d calls, %d misses, want %d", calls1.Load(), out1.Stats.CacheMisses, n)
+	}
+	srv1.flushCatalog()
+	st1 := getStats(t, ts1.URL)
+	if st1.Catalog == nil || st1.Catalog.OutcomeRows != n || st1.Catalog.Flushes != 1 {
+		t.Fatalf("catalog stats after flush: %+v", st1.Catalog)
+	}
+	if err := srv1.db.CloseCatalog(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh server, same directory.
+	_, ts2, calls2 := catalogServer(t, n, dir)
+	status, body = mustPostQuery(t, ts2.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var out2 queryResponse
+	if err := json.Unmarshal(body, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if calls2.Load() != 0 || out2.Stats.Evaluations != 0 {
+		t.Fatalf("warm restart paid %d calls / %d evaluations, want 0", calls2.Load(), out2.Stats.Evaluations)
+	}
+	if out2.Stats.CacheHits != n {
+		t.Fatalf("warm restart cache hits %d, want %d", out2.Stats.CacheHits, n)
+	}
+	if out2.RowCount != out1.RowCount {
+		t.Fatalf("restart changed the answer: %d vs %d rows", out2.RowCount, out1.RowCount)
+	}
+	st2 := getStats(t, ts2.URL)
+	if st2.Catalog == nil || st2.Catalog.OutcomeRows != n {
+		t.Fatalf("catalog stats after restart: %+v", st2.Catalog)
+	}
+	if st2.Cache.Hits != int64(n) {
+		t.Fatalf("server cache counters after restart: %+v", st2.Cache)
+	}
+}
+
+// TestServerCatalogFlusher exercises the periodic flusher: facts become
+// durable without an explicit flush call.
+func TestServerCatalogFlusher(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, _ := catalogServer(t, 60, dir)
+	stop := srv.startCatalogFlusher(10 * time.Millisecond)
+	defer stop()
+	status, body := mustPostQuery(t, ts.URL, queryRequest{SQL: "SELECT * FROM loans WHERE good_credit(id) = 1"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.flushes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic flusher never flushed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := getStats(t, ts.URL); st.Catalog == nil || st.Catalog.LastFlushUnix == 0 {
+		t.Fatalf("flusher not visible in stats: %+v", st.Catalog)
+	}
+}
+
+// getStats fetches and decodes GET /stats.
+func getStats(t *testing.T, url string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
 }

@@ -1,0 +1,312 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// On-disk format, version 1. Both catalog files are:
+//
+//	8-byte header: "PREDCAT" + one version byte
+//	then records:  uint32 LE payload length | uint32 LE CRC32-C | payload
+//
+// The payload is one JSON-encoded record. The CRC covers the payload
+// only; a record whose length field runs past EOF, whose checksum
+// mismatches, or whose payload does not decode marks the end of the
+// trustworthy prefix — everything before it is valid (each record was
+// fsynced whole before later ones were written), everything from it on is
+// a crash artifact and is discarded.
+
+const (
+	fileMagic     = "PREDCAT"
+	formatVersion = 1
+	headerLen     = len(fileMagic) + 1
+	// maxRecordLen bounds a single record; anything larger is treated as
+	// tail corruption rather than an allocation request.
+	maxRecordLen = 1 << 28
+)
+
+// Record kinds. Additive facts plus the invalidation tombstone.
+const (
+	kindOutcomes   = "outcomes"
+	kindSamples    = "samples"
+	kindColumn     = "column"
+	kindInvalidate = "invalidate-udf"
+)
+
+// record is the wire form of one catalog fact.
+type record struct {
+	Kind   string `json:"k"`
+	Table  string `json:"t,omitempty"`
+	UDF    string `json:"u,omitempty"`
+	Column string `json:"c,omitempty"`
+	Group  string `json:"g,omitempty"` // grouping column (samples)
+	Key    string `json:"w,omitempty"` // workload key (column memos)
+	Chosen string `json:"n,omitempty"` // chosen column (column memos)
+	Rows   []int  `json:"r,omitempty"`
+	Bits   string `json:"b,omitempty"` // one '0'/'1' per entry of Rows
+}
+
+// valid rejects structurally damaged payloads that happen to checksum
+// (e.g. a bit flip before the CRC was computed never reaches disk, but a
+// buggy writer might): replaying them would corrupt memory state.
+func (r record) valid() bool {
+	switch r.Kind {
+	case kindOutcomes, kindSamples:
+		return len(r.Rows) == len(r.Bits)
+	case kindColumn, kindInvalidate:
+		return true
+	default:
+		// Unknown kinds pass through; apply() ignores them.
+		return true
+	}
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendLocked serializes records onto the open log in one write, keeping
+// goodLen in step. On a failed or short write the tail is truncated back
+// to the known-good prefix, so a transient error (ENOSPC, EIO) can never
+// leave torn bytes that a later successful append — or an invalidation
+// tombstone — would land after (replay stops at the first damaged record,
+// so anything after torn bytes is silently lost). Callers hold c.mu.
+func (c *Catalog) appendLocked(recs []record) error {
+	if c.closed {
+		return fmt.Errorf("catalog: closed")
+	}
+	if c.broken {
+		return fmt.Errorf("catalog: log tail damaged by an earlier write failure; reopen the catalog to recover")
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		if err := writeRecord(&buf, r); err != nil {
+			return err
+		}
+	}
+	if _, err := c.log.Write(buf.Bytes()); err != nil {
+		if terr := c.log.Truncate(c.goodLen); terr != nil {
+			c.broken = true
+		}
+		return fmt.Errorf("catalog: %w", err)
+	}
+	c.goodLen += int64(buf.Len())
+	return nil
+}
+
+// syncLocked fsyncs the log. Callers hold c.mu.
+func (c *Catalog) syncLocked() error {
+	if err := c.log.Sync(); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}
+
+func writeRecord(w io.Writer, r record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}
+
+// parseRecords walks the byte stream after the header and returns the
+// decoded records plus the length of the valid prefix (header included)
+// and a note describing why parsing stopped early ("" when the whole file
+// parsed).
+func parseRecords(data []byte) (recs []record, goodLen int, note string) {
+	off := headerLen
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return recs, off, fmt.Sprintf("truncated record header at offset %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordLen || len(data)-off-8 < n {
+			return recs, off, fmt.Sprintf("truncated record payload at offset %d", off)
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, fmt.Sprintf("checksum mismatch at offset %d", off)
+		}
+		var r record
+		if err := json.Unmarshal(payload, &r); err != nil || !r.valid() {
+			return recs, off, fmt.Sprintf("undecodable record at offset %d", off)
+		}
+		recs = append(recs, r)
+		off += 8 + n
+	}
+	return recs, off, ""
+}
+
+// readRecordFile reads and validates one catalog file. A missing file is
+// an empty catalog; a damaged tail is reported (the good prefix is
+// returned) but the file is left untouched.
+func readRecordFile(path string) ([]record, Recovery, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, Recovery{}, nil
+	}
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("catalog: %w", err)
+	}
+	if len(data) == 0 {
+		return nil, Recovery{}, nil
+	}
+	if len(data) < headerLen || string(data[:len(fileMagic)]) != fileMagic {
+		return nil, Recovery{
+			Truncated: true,
+			Note:      fmt.Sprintf("%s: unrecognized header, file ignored", filepath.Base(path)),
+		}, nil
+	}
+	if v := data[len(fileMagic)]; v != formatVersion {
+		return nil, Recovery{}, fmt.Errorf("catalog: %s is format version %d, this build reads version %d", filepath.Base(path), v, formatVersion)
+	}
+	recs, _, note := parseRecords(data)
+	if note != "" {
+		return recs, Recovery{Truncated: true, Note: filepath.Base(path) + ": " + note}, nil
+	}
+	return recs, Recovery{}, nil
+}
+
+// recoverRecordFile is readRecordFile for the append-only log: on a
+// damaged tail the file is truncated back to its valid prefix so
+// subsequent appends produce a clean file. A file with an unrecognized
+// header is reset to an empty log (its content cannot be trusted).
+func recoverRecordFile(path string) ([]record, Recovery, error) {
+	recs, rec, err := readRecordFile(path)
+	if err != nil {
+		return nil, rec, err
+	}
+	if !rec.Truncated {
+		return recs, rec, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, rec, fmt.Errorf("catalog: %w", err)
+	}
+	goodLen := 0
+	if len(data) >= headerLen && string(data[:len(fileMagic)]) == fileMagic && data[len(fileMagic)] == formatVersion {
+		_, goodLen, _ = parseRecords(data)
+	}
+	if goodLen < headerLen {
+		// Header unusable: start the log over.
+		f, err := resetLog(path)
+		if err != nil {
+			return nil, rec, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, rec, fmt.Errorf("catalog: %w", err)
+		}
+		return recs, rec, nil
+	}
+	if err := os.Truncate(path, int64(goodLen)); err != nil {
+		return nil, rec, fmt.Errorf("catalog: %w", err)
+	}
+	return recs, rec, nil
+}
+
+// openAppend opens (creating and writing a header if needed) the log for
+// appending. The file is assumed already validated/truncated by
+// recoverRecordFile.
+func openAppend(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if info.Size() == 0 {
+		if err := writeHeader(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// resetLog replaces the log with a fresh, fsynced header-only file and
+// returns it open for appending.
+func resetLog(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if err := writeHeader(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	return f, nil
+}
+
+func writeHeader(w io.Writer) error {
+	hdr := append([]byte(fileMagic), formatVersion)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}
+
+// writeSnapshot atomically replaces the snapshot: write tmp, fsync,
+// rename, fsync directory.
+func writeSnapshot(path string, recs []record) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	err = writeHeader(f)
+	for _, r := range recs {
+		if err != nil {
+			break
+		}
+		err = writeRecord(f, r)
+	}
+	if err == nil {
+		if serr := f.Sync(); serr != nil {
+			err = fmt.Errorf("catalog: %w", serr)
+		}
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("catalog: %w", cerr)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}

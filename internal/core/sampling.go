@@ -99,6 +99,9 @@ type Sampler struct {
 	// (default 1, fully sequential). Row selection is always sequential, so
 	// outcomes are identical at any setting.
 	parallelism int
+	// priors counts rows seeded via SeedPrior: they carry evidence but were
+	// not examined by this query, so TotalSampled excludes them.
+	priors int
 }
 
 // SetParallelism sets the worker cap for UDF evaluation during TopUp
@@ -126,11 +129,11 @@ func NewSampler(groups []Group, udf UDF, rng *stats.RNG) *Sampler {
 	return s
 }
 
-// Preload records rows whose UDF outcome is already known (e.g. tuples
-// labeled while discovering the correlated column, Section 4.4) so they
-// count as sampled without re-evaluation. Rows not belonging to any group
-// are ignored.
-func (s *Sampler) Preload(known map[int]bool) {
+// seedKnown moves rows with known outcomes from the unsampled pools into
+// the recorded results, returning how many rows it seeded. Rows not
+// belonging to any group (or already sampled) are ignored.
+func (s *Sampler) seedKnown(known map[int]bool) int {
+	seeded := 0
 	for i := range s.groups {
 		kept := s.unsampled[i][:0]
 		for _, row := range s.unsampled[i] {
@@ -139,12 +142,36 @@ func (s *Sampler) Preload(known map[int]bool) {
 				if v {
 					s.outcomes[i].Positives++
 				}
+				seeded++
 				continue
 			}
 			kept = append(kept, row)
 		}
 		s.unsampled[i] = kept
 	}
+	return seeded
+}
+
+// Preload records rows whose UDF outcome is already known (e.g. tuples
+// labeled while discovering the correlated column, Section 4.4) so they
+// count as sampled without re-evaluation. Rows not belonging to any group
+// are ignored.
+func (s *Sampler) Preload(known map[int]bool) {
+	s.seedKnown(known)
+}
+
+// SeedPrior records rows whose UDF outcome was paid for in an earlier
+// process life (e.g. restored from a durable catalog). Like Preload, the
+// rows count as sampling evidence — they strengthen the Beta posterior and
+// shrink or eliminate later top-ups — but unlike Preload they are NOT
+// counted by TotalSampled: they were not examined during this query, and
+// reporting them as sampled would hide the warm-start savings. Rows not
+// belonging to any group (or already sampled) are ignored. Returns the
+// number of rows seeded.
+func (s *Sampler) SeedPrior(known map[int]bool) int {
+	seeded := s.seedKnown(known)
+	s.priors += seeded
+	return seeded
 }
 
 // TopUp raises each group's sampled count to targets[i] (no-op for groups
@@ -209,13 +236,16 @@ func (s *Sampler) TopUpCtx(ctx context.Context, targets []int) (int, error) {
 // Outcomes returns the per-group sampling outcomes (shared, do not mutate).
 func (s *Sampler) Outcomes() []SampleOutcome { return s.outcomes }
 
-// TotalSampled returns the number of tuples evaluated so far.
+// TotalSampled returns the number of tuples examined so far by this
+// sampler: labeled, preloaded or topped up. Rows seeded from prior
+// process lives (SeedPrior) are excluded — their cost was paid before
+// this query started.
 func (s *Sampler) TotalSampled() int {
 	total := 0
 	for _, o := range s.outcomes {
 		total += len(o.Results)
 	}
-	return total
+	return total - s.priors
 }
 
 // Infos converts the current sampling state into estimated-selectivity

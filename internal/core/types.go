@@ -315,6 +315,26 @@ func (c *SharedEvalCache) Len() int {
 	return len(c.vals)
 }
 
+// Preload bulk-loads outcomes (e.g. restored from a durable catalog).
+func (c *SharedEvalCache) Preload(m map[int]bool) {
+	c.mu.Lock()
+	for row, v := range m {
+		c.vals[row] = v
+	}
+	c.mu.Unlock()
+}
+
+// Snapshot copies the current outcomes (e.g. for persisting).
+func (c *SharedEvalCache) Snapshot() map[int]bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[int]bool, len(c.vals))
+	for row, v := range c.vals {
+		out[row] = v
+	}
+	return out
+}
+
 // Meter wraps a UDF and counts invocations; it memoizes results so repeated
 // evaluations of the same tuple (e.g. sampled during estimation and touched
 // again at execution) are charged once, matching the paper's accounting.
@@ -329,6 +349,11 @@ type Meter struct {
 	udf    UDF
 	calls  atomic.Int64
 	shared EvalCache // may be nil
+	// cacheHits / cacheMisses count shared-cache lookups (zero when shared
+	// is nil). Single-flight guarantees at most one lookup per row, so both
+	// are deterministic at any parallelism level.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 
 	mu   sync.Mutex
 	memo map[int]*meterEntry
@@ -393,11 +418,13 @@ func (m *Meter) Eval(row int) bool {
 	}()
 	if m.shared != nil {
 		if v, ok := m.shared.Lookup(row); ok {
+			m.cacheHits.Add(1)
 			e.val = v
 			completed = true
 			close(e.done)
 			return v
 		}
+		m.cacheMisses.Add(1)
 	}
 	m.calls.Add(1)
 	v := m.udf.Eval(row)
@@ -412,6 +439,14 @@ func (m *Meter) Eval(row int) bool {
 
 // Calls returns the number of distinct UDF invocations charged so far.
 func (m *Meter) Calls() int { return int(m.calls.Load()) }
+
+// CacheHits returns how many rows the shared cross-query cache served
+// without charging an evaluation (always 0 without a shared cache).
+func (m *Meter) CacheHits() int { return int(m.cacheHits.Load()) }
+
+// CacheMisses returns how many shared-cache lookups fell through to a
+// charged UDF invocation (always 0 without a shared cache).
+func (m *Meter) CacheMisses() int { return int(m.cacheMisses.Load()) }
 
 // Known reports whether row's value is already memoized (and what it is).
 // In-flight evaluations on other goroutines report as unknown.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"repro/internal/catalog"
 	"repro/internal/core"
 )
 
@@ -27,13 +28,21 @@ type evalCacheKey struct {
 	column string
 }
 
-// evalCache returns (creating on first use) the shared cache for key.
+// evalCache returns (creating on first use) the shared cache for key. A
+// freshly created cache seeds itself from the attached durable catalog, so
+// verdicts paid for in earlier process lives are served without ever
+// invoking the UDF.
 func (e *Engine) evalCache(key evalCacheKey) *core.SharedEvalCache {
 	e.cacheMu.Lock()
 	defer e.cacheMu.Unlock()
 	c, ok := e.evalCaches[key]
 	if !ok {
 		c = core.NewSharedEvalCache()
+		if e.catalog != nil {
+			if prior := e.catalog.Outcomes(catalog.OutcomeKey{Table: key.table, UDF: key.udf, Column: key.column}); len(prior) > 0 {
+				c.Preload(prior)
+			}
+		}
 		e.evalCaches[key] = c
 	}
 	return c
@@ -95,17 +104,20 @@ func (e *Engine) meterFor(q Query, udf core.UDF, fault *udfFault) *core.Meter {
 func (e *Engine) InvalidateUDFCache() {
 	e.cacheMu.Lock()
 	defer e.cacheMu.Unlock()
+	e.invalidations.Add(1)
 	e.evalCaches = make(map[evalCacheKey]*core.SharedEvalCache)
+	e.flushedLens = make(map[evalCacheKey]int)
 }
 
-// invalidateUDF drops cached outcomes of one UDF name (all tables);
-// RegisterUDF calls this because registration may replace the body.
-func (e *Engine) invalidateUDF(name string) {
-	e.cacheMu.Lock()
-	defer e.cacheMu.Unlock()
+// invalidateUDFLocked drops cached outcomes of one UDF name (all tables)
+// and bumps the invalidation epoch; RegisterUDF calls this when replacing
+// a body. Callers hold cacheMu.
+func (e *Engine) invalidateUDFLocked(name string) {
+	e.invalidations.Add(1)
 	for key := range e.evalCaches {
 		if key.udf == name {
 			delete(e.evalCaches, key)
+			delete(e.flushedLens, key)
 		}
 	}
 }

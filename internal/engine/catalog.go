@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// Durable catalog integration. When a catalog is attached the engine
+// warm-starts from persisted state instead of re-paying o_e after a
+// restart:
+//
+//   - the cross-query eval caches are seeded lazily from persisted raw
+//     verdicts (so repeated exact workloads run with zero evaluations);
+//   - samplers are seeded with prior labeled/sampled evidence per
+//     (table, UDF, column, grouping column), shrinking or eliminating the
+//     1% labeling pass and the per-group top-ups of repeated approximate
+//     queries;
+//   - the Section 4.4 correlated-column discovery result is memoized per
+//     workload key, so repeat queries skip the labeling scan entirely.
+//
+// Writes go to the catalog's memory as queries finish; FlushCatalog (or a
+// server's periodic flush) makes them durable. Catalog writes are gated on
+// the query's UDF fault state: a panicking UDF yields synthetic verdicts
+// that must never become durable facts.
+//
+// Like Parallelism, attach the catalog before serving queries.
+
+// SetCatalog attaches a durable catalog. Eval caches created afterwards
+// seed themselves from it; pass nil to detach. Configure before serving
+// queries (see SetParallelism).
+func (e *Engine) SetCatalog(c *catalog.Catalog) {
+	e.cacheMu.Lock()
+	e.catalog = c
+	e.cacheMu.Unlock()
+}
+
+// Catalog returns the attached catalog (nil when none).
+func (e *Engine) Catalog() *catalog.Catalog {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	return e.catalog
+}
+
+// FlushCatalog folds every in-memory eval cache into the catalog and
+// flushes it to disk. No-op without an attached catalog. Caches whose
+// size has not moved since their last flush are skipped without
+// snapshotting (outcomes only accumulate; invalidation drops whole
+// caches and their flush watermark), so an idle server's periodic flush
+// costs O(1) per cache, not O(rows). cacheMu is held throughout: an
+// invalidation can only run entirely before (its dropped caches are not
+// in the map) or entirely after (its tombstone lands after these
+// records, and replay order wins), never interleaved.
+func (e *Engine) FlushCatalog() error {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	c := e.catalog
+	if c == nil {
+		return nil
+	}
+	for k, sc := range e.evalCaches {
+		n := sc.Len()
+		if n == e.flushedLens[k] {
+			continue
+		}
+		c.AddOutcomes(catalog.OutcomeKey{Table: k.table, UDF: k.udf, Column: k.column}, sc.Snapshot())
+		e.flushedLens[k] = n
+	}
+	return c.Flush()
+}
+
+// CloseCatalog flushes, compacts and closes the attached catalog, then
+// detaches it. No-op without one.
+func (e *Engine) CloseCatalog() error {
+	if err := e.FlushCatalog(); err != nil {
+		return err
+	}
+	e.cacheMu.Lock()
+	c := e.catalog
+	e.catalog = nil
+	e.cacheMu.Unlock()
+	if c == nil {
+		return nil
+	}
+	if err := c.Compact(); err != nil {
+		c.Close()
+		return err
+	}
+	return c.Close()
+}
+
+// CacheCounters reports engine-lifetime cross-query eval-cache hits and
+// misses (summed over completed queries).
+func (e *Engine) CacheCounters() (hits, misses int64) {
+	return e.cacheHits.Load(), e.cacheMisses.Load()
+}
+
+// CatalogCounters summarizes warm-start activity since engine creation.
+type CatalogCounters struct {
+	// ColumnMemoHits counts queries whose Section 4.4 discovery pass was
+	// skipped because the catalog had memoized the chosen column.
+	ColumnMemoHits int64
+	// SeededRows counts sampler rows seeded from persisted evidence.
+	SeededRows int64
+}
+
+// CatalogCounters reports warm-start activity since engine creation.
+func (e *Engine) CatalogCounters() CatalogCounters {
+	return CatalogCounters{
+		ColumnMemoHits: e.columnMemoHits.Load(),
+		SeededRows:     e.seededRows.Load(),
+	}
+}
+
+// workloadKey canonicalizes everything that influences the Section 4.4
+// column choice: the predicate application, the cheap-filter subset, the
+// accuracy constraints and the cost model. Two queries with equal keys
+// would discover the same column, so the choice is safe to memoize.
+func workloadKey(q Query, cost core.CostModel) string {
+	parts := []string{
+		"v1", q.Table, q.UDFName, q.UDFArg, fmt.Sprintf("want=%t", q.Want),
+		fmt.Sprintf("cost=%g,%g", cost.Retrieve, cost.Evaluate),
+	}
+	if q.Approx != nil {
+		parts = append(parts, fmt.Sprintf("apr=%g,%g,%g", q.Approx.Precision, q.Approx.Recall, q.Approx.Probability))
+	}
+	if len(q.Filters) > 0 {
+		fs := make([]string, len(q.Filters))
+		for i, f := range q.Filters {
+			fs[i] = f.Column + "=" + f.Value
+		}
+		sort.Strings(fs)
+		parts = append(parts, "flt="+strings.Join(fs, "&"))
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// foldVerdicts maps between raw UDF outcomes and want-folded verdicts.
+// The transform is its own inverse: folded = (raw == want) and
+// raw = (folded == want).
+func foldVerdicts(m map[int]bool, want bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for row, v := range m {
+		out[row] = v == want
+	}
+	return out
+}
+
+// memoizedColumn returns persisted discovery output for the query's
+// workload, if the memoized column still yields a usable grouping.
+func (e *Engine) memoizedColumn(tbl *table.Table, q Query, cost core.CostModel, subset []int) ([]core.Group, string, bool) {
+	c := e.Catalog()
+	if c == nil {
+		return nil, "", false
+	}
+	col, ok := c.ChosenColumn(workloadKey(q, cost))
+	if !ok {
+		return nil, "", false
+	}
+	groups, err := groupsFromColumn(tbl, col, subset)
+	if err != nil || len(groups) < 2 || len(groups) > e.MaxCandidateCardinality {
+		// The table changed shape since the memo was written: fall back to
+		// a fresh discovery pass (which overwrites the memo).
+		return nil, "", false
+	}
+	e.columnMemoHits.Add(1)
+	return groups, col, true
+}
+
+// seedSamplerFromCatalog warm-starts a sampler with persisted evidence for
+// the query's (table, UDF, column, grouping column), folded to its want.
+// Returns the number of rows seeded.
+func (e *Engine) seedSamplerFromCatalog(s *core.Sampler, q Query, groupCol string) int {
+	c := e.Catalog()
+	if c == nil {
+		return 0
+	}
+	prior := c.Samples(catalog.SampleKey{
+		Table: q.Table, UDF: q.UDFName, Column: q.UDFArg, GroupColumn: groupCol,
+	})
+	if len(prior) == 0 {
+		return 0
+	}
+	n := s.SeedPrior(foldVerdicts(prior, q.Want))
+	e.seededRows.Add(int64(n))
+	return n
+}
+
+// persistQueryLearnings records what an approximate query learned: the
+// sampler's accumulated evidence (unfolded to raw verdicts) and, when
+// discovery ran, the chosen column. Two gates protect the catalog from
+// poison: the query's fault state (synthetic verdicts from a panicking
+// UDF must never become durable) and the invalidation epoch captured
+// before the query evaluated anything — if a UDF body was replaced
+// mid-query, this query's verdicts may belong to the old body and are
+// discarded rather than re-persisted after the tombstone. cacheMu
+// serializes the epoch check with RegisterUDF's invalidation.
+func (e *Engine) persistQueryLearnings(s *core.Sampler, q Query, cost core.CostModel, chosen string, fault *udfFault, epoch int64) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	c := e.catalog
+	if c == nil || fault.Err() != nil || e.invalidations.Load() != epoch {
+		return
+	}
+	if q.GroupOn == "" && chosen != "" && chosen != VirtualColumn {
+		c.SetChosenColumn(workloadKey(q, cost), q.UDFName, chosen)
+	}
+	raw := make(map[int]bool)
+	for _, o := range s.Outcomes() {
+		for row, v := range o.Results {
+			raw[row] = v == q.Want
+		}
+	}
+	if len(raw) > 0 {
+		c.AddSamples(catalog.SampleKey{
+			Table: q.Table, UDF: q.UDFName, Column: q.UDFArg, GroupColumn: chosen,
+		}, raw)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/ml"
@@ -51,6 +53,28 @@ type Engine struct {
 
 	cacheMu    sync.Mutex
 	evalCaches map[evalCacheKey]*core.SharedEvalCache
+	// catalog, when non-nil, persists eval-cache outcomes, sampling
+	// evidence and column choices across restarts (see catalog.go). Guarded
+	// by cacheMu; attach before serving queries.
+	catalog *catalog.Catalog
+
+	// flushedLens remembers each eval cache's size at its last catalog
+	// flush; outcomes only accumulate (invalidation drops whole caches),
+	// so an unchanged size means nothing new to persist and FlushCatalog
+	// skips the snapshot+diff for that key. Guarded by cacheMu.
+	flushedLens map[evalCacheKey]int
+	// invalidations counts UDF invalidation events. Queries capture it
+	// before evaluating and refuse to persist learnings if it moved: a
+	// body replaced mid-query must not have its stale verdicts re-persisted
+	// after the catalog tombstone. Mutated under cacheMu.
+	invalidations atomic.Int64
+
+	// Engine-lifetime observability counters (summed over completed
+	// queries / warm-start events).
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	columnMemoHits atomic.Int64
+	seededRows     atomic.Int64
 }
 
 // New returns an engine with the paper's default cost model (o_r = 1,
@@ -67,6 +91,7 @@ func New(seed uint64) *Engine {
 		CacheUDFResults:         true,
 		rng:                     stats.NewRNG(seed),
 		evalCaches:              make(map[evalCacheKey]*core.SharedEvalCache),
+		flushedLens:             make(map[evalCacheKey]int),
 	}
 }
 
@@ -115,14 +140,37 @@ func (e *Engine) Table(name string) (*table.Table, error) {
 	return t, nil
 }
 
-// RegisterUDF adds a UDF to the engine's registry. Registering an existing
-// name replaces its body, so any cached outcomes for that name are dropped.
+// RegisterUDF adds a UDF to the engine's registry. Re-registering an
+// existing name replaces its body, so every cached outcome for that name
+// is dropped — from the in-memory eval caches AND from the attached
+// durable catalog (durably, before this returns) — because a changed body
+// must never serve verdicts the old body computed. A first-time
+// registration invalidates nothing: persisted verdicts from earlier
+// process lives stay warm, which is the whole point of the catalog (the
+// durability contract trusts the operator to register the same body
+// across restarts; see DESIGN.md).
 func (e *Engine) RegisterUDF(u UDF) error {
-	if err := e.registry.Register(u); err != nil {
-		return err
+	if !e.registry.Has(u.Name) {
+		return e.registry.Register(u)
 	}
-	e.invalidateUDF(u.Name)
-	return nil
+	// Invalidate BEFORE swapping the body in: if the durable tombstone
+	// cannot be written, the old body stays active and the persisted
+	// verdicts remain consistent with it — never the other way around.
+	// Holding cacheMu across memory drop + tombstone serializes against
+	// FlushCatalog and persistQueryLearnings, so no stale verdict can be
+	// re-persisted after the tombstone.
+	e.cacheMu.Lock()
+	e.invalidateUDFLocked(u.Name)
+	c := e.catalog
+	var err error
+	if c != nil {
+		err = c.InvalidateUDF(u.Name)
+	}
+	e.cacheMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("engine: invalidating catalog entries for UDF %q: %w", u.Name, err)
+	}
+	return e.registry.Register(u)
 }
 
 // udfFault collects the first panic a UDF body raised during a query, so
@@ -225,17 +273,28 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
 		if err == nil && fault.Err() != nil {
 			return nil, fault.Err()
 		}
+		if err == nil {
+			e.cacheHits.Add(int64(res.Stats.CacheHits))
+			e.cacheMisses.Add(int64(res.Stats.CacheMisses))
+		}
 		return res, err
 	}
+	// Captured before any evaluation: if a UDF body is replaced while this
+	// query runs, its learnings are not persisted (see persistQueryLearnings).
+	epoch := e.invalidations.Load()
 	meter := e.meterFor(q, udf, fault)
 	var res *Result
 	if q.Approx == nil {
 		res, err = e.executeExact(ctx, tbl, meter, cost, subset)
 	} else {
-		res, err = e.executeApprox(ctx, tbl, q, meter, cost, subset)
+		res, err = e.executeApprox(ctx, tbl, q, meter, cost, subset, fault, epoch)
 	}
 	if err == nil && fault.Err() != nil {
 		return nil, fault.Err()
+	}
+	if err == nil {
+		e.cacheHits.Add(int64(res.Stats.CacheHits))
+		e.cacheMisses.Add(int64(res.Stats.CacheMisses))
 	}
 	return res, err
 }
@@ -275,11 +334,13 @@ func (e *Engine) executeExact(ctx context.Context, tbl *table.Table, meter *core
 			Retrievals:  n,
 			Cost:        float64(n)*cost.Retrieve + float64(meter.Calls())*cost.Evaluate,
 			Exact:       true,
+			CacheHits:   meter.CacheHits(),
+			CacheMisses: meter.CacheMisses(),
 		},
 	}, nil
 }
 
-func (e *Engine) executeApprox(ctx context.Context, tbl *table.Table, q Query, meter *core.Meter, cost core.CostModel, subset []int) (*Result, error) {
+func (e *Engine) executeApprox(ctx context.Context, tbl *table.Table, q Query, meter *core.Meter, cost core.CostModel, subset []int, fault *udfFault, epoch int64) (*Result, error) {
 	e.mu.Lock()
 	rng := e.rng.Split()
 	e.mu.Unlock()
@@ -293,6 +354,9 @@ func (e *Engine) executeApprox(ctx context.Context, tbl *table.Table, q Query, m
 	sampler := core.NewSampler(groups, meter, rng.Split())
 	sampler.SetParallelism(e.parallelism())
 	sampler.Preload(labeled)
+	// Warm-start: rows whose outcome an earlier process life paid for count
+	// as evidence without being re-examined, shrinking the top-ups below.
+	e.seedSamplerFromCatalog(sampler, q, chosen)
 	sizes := make([]int, len(groups))
 	for i, g := range groups {
 		sizes[i] = len(g.Rows)
@@ -332,6 +396,7 @@ func (e *Engine) executeApprox(ctx context.Context, tbl *table.Table, q Query, m
 		return nil, err
 	}
 	sort.Ints(exec.Output)
+	e.persistQueryLearnings(sampler, q, cost, chosen, fault, epoch)
 	sampled := sampler.TotalSampled()
 	retrievals := sampled + exec.Retrieved
 	return &Result{
@@ -343,6 +408,8 @@ func (e *Engine) executeApprox(ctx context.Context, tbl *table.Table, q Query, m
 			ChosenColumn:        chosen,
 			Sampled:             sampled,
 			AchievedRecallBound: achieved,
+			CacheHits:           meter.CacheHits(),
+			CacheMisses:         meter.CacheMisses(),
 		},
 	}, nil
 }
@@ -354,6 +421,12 @@ func (e *Engine) executeApprox(ctx context.Context, tbl *table.Table, q Query, m
 func (e *Engine) resolveGroups(ctx context.Context, tbl *table.Table, q Query, meter *core.Meter, cons core.Constraints, cost core.CostModel, rng *stats.RNG, subset []int) ([]core.Group, string, map[int]bool, error) {
 	switch q.GroupOn {
 	case "":
+		// A memoized Section 4.4 choice skips the labeling scan entirely;
+		// the RNG draws it would have consumed are simply not made (warm
+		// runs are deterministic among themselves, not vs. cold runs).
+		if groups, col, ok := e.memoizedColumn(tbl, q, cost, subset); ok {
+			return groups, col, nil, nil
+		}
 		return e.discoverColumn(ctx, tbl, q, meter, cons, cost, rng, subset)
 	case VirtualColumn:
 		return e.virtualColumn(ctx, tbl, q, meter, rng, subset)

@@ -66,6 +66,7 @@ func (e *Engine) ExecuteSelectJoinContext(ctx context.Context, q SelectJoinQuery
 	if err != nil {
 		return nil, err
 	}
+	epoch := e.invalidations.Load()
 	meter := e.meterFor(q.Query, udf, fault)
 	cost := e.costModel(q.Query)
 	cons := q.Approx.Constraints()
@@ -134,6 +135,7 @@ func (e *Engine) ExecuteSelectJoinContext(ctx context.Context, q SelectJoinQuery
 	// Estimate subgroup selectivities by sampling, then plan with weights.
 	sampler := core.NewSampler(groups, meter, rng.Split())
 	sampler.SetParallelism(e.parallelism())
+	e.seedSamplerFromCatalog(sampler, q.Query, q.GroupOn)
 	sizes := make([]int, len(groups))
 	for i, g := range groups {
 		sizes[i] = len(g.Rows)
@@ -164,9 +166,10 @@ func (e *Engine) ExecuteSelectJoinContext(ctx context.Context, q SelectJoinQuery
 	if fault.Err() != nil {
 		return nil, fault.Err()
 	}
+	e.persistQueryLearnings(sampler, q.Query, cost, q.GroupOn, fault, epoch)
 	sampled := sampler.TotalSampled()
 	retrievals := sampled + exec.Retrieved
-	return &Result{
+	res := &Result{
 		Rows: exec.Output,
 		Stats: Stats{
 			Evaluations:  meter.Calls(),
@@ -174,8 +177,13 @@ func (e *Engine) ExecuteSelectJoinContext(ctx context.Context, q SelectJoinQuery
 			Cost:         float64(meter.Calls())*cost.Evaluate + float64(retrievals)*cost.Retrieve,
 			ChosenColumn: q.GroupOn,
 			Sampled:      sampled,
+			CacheHits:    meter.CacheHits(),
+			CacheMisses:  meter.CacheMisses(),
 		},
-	}, nil
+	}
+	e.cacheHits.Add(int64(res.Stats.CacheHits))
+	e.cacheMisses.Add(int64(res.Stats.CacheMisses))
+	return res, nil
 }
 
 // JoinMultiplicities is a helper exposing the per-key match counts of a

@@ -117,6 +117,13 @@ type Stats struct {
 	// AchievedRecallBound is set for budget queries: the recall bound the
 	// planner could afford.
 	AchievedRecallBound float64
+	// CacheHits counts rows this query was served from the cross-query
+	// outcome cache (no UDF invocation charged). Zero when the cache is
+	// disabled.
+	CacheHits int
+	// CacheMisses counts cache lookups this query paid for with a fresh
+	// UDF invocation. Zero when the cache is disabled.
+	CacheMisses int
 }
 
 // Result is a query's output: the matching row ids of the base table (so

@@ -77,6 +77,8 @@ func (e *Engine) executeTwoPred(ctx context.Context, tbl *table.Table, q Query, 
 			Cost:         float64(res.Retrieved)*cost.Retrieve + float64(evals)*cost.Evaluate,
 			ChosenColumn: q.GroupOn,
 			Sampled:      sampled,
+			CacheHits:    m1.CacheHits() + m2.CacheHits(),
+			CacheMisses:  m1.CacheMisses() + m2.CacheMisses(),
 		},
 	}, nil
 }
@@ -138,6 +140,8 @@ func (e *Engine) executeTwoPredExact(ctx context.Context, tbl *table.Table, q Qu
 			Retrievals:  n,
 			Cost:        float64(n)*cost.Retrieve + float64(evals)*cost.Evaluate,
 			Exact:       true,
+			CacheHits:   m1.CacheHits() + m2.CacheHits(),
+			CacheMisses: m1.CacheMisses() + m2.CacheMisses(),
 		},
 	}, nil
 }

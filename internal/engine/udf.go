@@ -52,6 +52,14 @@ func (r *Registry) Register(u UDF) error {
 	return nil
 }
 
+// Has reports whether a UDF with the given name is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.udfs[name]
+	return ok
+}
+
 // Lookup fetches a UDF by name.
 func (r *Registry) Lookup(name string) (UDF, error) {
 	r.mu.RLock()

@@ -43,6 +43,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
@@ -94,6 +95,69 @@ func (db *DB) SetUDFCache(enabled bool) {
 	db.eng.CacheUDFResults = enabled
 	if !enabled {
 		db.eng.InvalidateUDFCache()
+	}
+}
+
+// OpenCatalog attaches a durable statistics & outcome catalog stored in
+// dir (created if needed): UDF verdicts, sampling evidence and learned
+// correlated-column choices persist across process restarts, so repeated
+// workloads warm-start instead of re-paying the UDF cost. Call after
+// registering tables and UDFs, before serving queries. New facts become
+// durable on FlushCatalog (or a server's periodic flush) — see DESIGN.md,
+// "Durable catalog".
+//
+// A catalog left behind by a crash is recovered on open: a damaged log
+// tail is detected by checksum and cut off (losing at most the facts
+// since the last flush), never replayed into wrong verdicts. Inspect
+// Catalog().Recovery() to see what was repaired.
+func (db *DB) OpenCatalog(dir string) error {
+	c, err := catalog.Open(dir)
+	if err != nil {
+		return err
+	}
+	db.eng.SetCatalog(c)
+	return nil
+}
+
+// SetCatalog attaches an already-open catalog (nil detaches). Configure
+// before serving queries, like SetParallelism.
+func (db *DB) SetCatalog(c *catalog.Catalog) { db.eng.SetCatalog(c) }
+
+// Catalog returns the attached catalog, or nil.
+func (db *DB) Catalog() *catalog.Catalog { return db.eng.Catalog() }
+
+// FlushCatalog persists every outcome and statistic learned since the
+// last flush. No-op without an attached catalog.
+func (db *DB) FlushCatalog() error { return db.eng.FlushCatalog() }
+
+// CloseCatalog flushes, compacts and closes the attached catalog, then
+// detaches it. The DB remains usable (without durability). No-op without
+// an attached catalog.
+func (db *DB) CloseCatalog() error { return db.eng.CloseCatalog() }
+
+// CacheCounters aggregates cross-query cache and catalog warm-start
+// activity over the DB's lifetime.
+type CacheCounters struct {
+	// Hits / Misses count cross-query outcome-cache lookups summed over
+	// completed queries (a hit serves a row without invoking the UDF).
+	Hits   int64
+	Misses int64
+	// ColumnMemoHits counts queries that skipped the correlated-column
+	// discovery pass thanks to a catalog memo.
+	ColumnMemoHits int64
+	// SeededRows counts sampler rows warm-started from persisted evidence.
+	SeededRows int64
+}
+
+// CacheCounters reports DB-lifetime cache and warm-start counters.
+func (db *DB) CacheCounters() CacheCounters {
+	hits, misses := db.eng.CacheCounters()
+	cc := db.eng.CatalogCounters()
+	return CacheCounters{
+		Hits:           hits,
+		Misses:         misses,
+		ColumnMemoHits: cc.ColumnMemoHits,
+		SeededRows:     cc.SeededRows,
 	}
 }
 
@@ -151,6 +215,12 @@ type Stats struct {
 	Exact bool
 	// AchievedRecallBound is set for BUDGET queries.
 	AchievedRecallBound float64
+	// CacheHits counts rows served from the cross-query outcome cache
+	// (no UDF invocation charged). Zero when the cache is disabled.
+	CacheHits int
+	// CacheMisses counts cache lookups that fell through to a paid UDF
+	// invocation. Zero when the cache is disabled.
+	CacheMisses int
 }
 
 // Rows is a materialized query result.
@@ -226,6 +296,8 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Rows, error) {
 			Sampled:             res.Stats.Sampled,
 			Exact:               res.Stats.Exact,
 			AchievedRecallBound: res.Stats.AchievedRecallBound,
+			CacheHits:           res.Stats.CacheHits,
+			CacheMisses:         res.Stats.CacheMisses,
 		},
 	}
 	rows.cells = make([][]string, out.NumRows())
