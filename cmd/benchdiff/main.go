@@ -1,0 +1,137 @@
+// Command benchdiff compares two benchjson perf snapshots and fails when a
+// watched benchmark regressed beyond a threshold, so CI can gate merges on
+// the committed BENCH_<rev>.json baseline.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_old.json -cur BENCH_new.json \
+//	          -metric ns/op -max-regress 0.25 ParallelExact CatalogWarmRestart
+//
+// Benchmark names are given without the "Benchmark" prefix (matching the
+// snapshot's name field); a name also matches its sub-benchmarks
+// ("ParallelExact" covers "ParallelExact/parallelism=8"). When several
+// entries match one name (sub-benchmarks, repeat counts, GOMAXPROCS
+// variants), the best (minimum) metric value wins — the standard
+// noise-resistant reading of a benchmark. A watched benchmark missing
+// from either snapshot is an error: a gate that silently stops measuring
+// is worse than a red build.
+//
+// Exit status: 0 ok, 1 regression (or missing benchmark), 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// benchmark mirrors cmd/benchjson's entry (only the fields the diff needs).
+type benchmark struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// snapshot mirrors cmd/benchjson's document.
+type snapshot struct {
+	Rev        string      `json:"rev"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	base := fs.String("base", "", "baseline snapshot (required)")
+	cur := fs.String("cur", "", "current snapshot (required)")
+	metric := fs.String("metric", "ns/op", "metric to compare")
+	maxRegress := fs.Float64("max-regress", 0.25, "maximum allowed relative regression (0.25 = +25%)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	names := fs.Args()
+	if *base == "" || *cur == "" || len(names) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: -base, -cur and at least one benchmark name are required")
+		fs.Usage()
+		return 2
+	}
+	baseSnap, err := load(*base)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	curSnap, err := load(*cur)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	failed := false
+	for _, name := range names {
+		b, okB := best(baseSnap, name, *metric)
+		c, okC := best(curSnap, name, *metric)
+		switch {
+		case !okB:
+			fmt.Fprintf(stderr, "benchdiff: %s: no %s in baseline %s (rev %s)\n", name, *metric, *base, baseSnap.Rev)
+			failed = true
+		case !okC:
+			fmt.Fprintf(stderr, "benchdiff: %s: no %s in current %s (rev %s)\n", name, *metric, *cur, curSnap.Rev)
+			failed = true
+		default:
+			rel := math.Inf(1)
+			if b > 0 {
+				rel = (c - b) / b
+			} else if c == 0 {
+				rel = 0
+			}
+			verdict := "ok"
+			if rel > *maxRegress {
+				verdict = fmt.Sprintf("REGRESSION (> +%.0f%%)", *maxRegress*100)
+				failed = true
+			}
+			fmt.Fprintf(stdout, "benchdiff: %-24s %s %12.4g → %12.4g  (%+.1f%%)  %s\n",
+				name, *metric, b, c, rel*100, verdict)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// load reads one snapshot file.
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// best returns the minimum value of metric over every entry matching name
+// (exactly, or as a sub-benchmark "name/...").
+func best(s *snapshot, name, metric string) (float64, bool) {
+	val, ok := 0.0, false
+	for _, b := range s.Benchmarks {
+		if b.Name != name && !strings.HasPrefix(b.Name, name+"/") {
+			continue
+		}
+		v, has := b.Metrics[metric]
+		if !has {
+			continue
+		}
+		if !ok || v < val {
+			val, ok = v, true
+		}
+	}
+	return val, ok
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseSnap = `{"rev":"old","benchmarks":[
+	{"name":"ParallelExact/parallelism=1","procs":8,"iterations":3,"metrics":{"ns/op":1400}},
+	{"name":"ParallelExact/parallelism=8","procs":8,"iterations":3,"metrics":{"ns/op":1000}},
+	{"name":"ParallelExact/parallelism=8","procs":8,"iterations":3,"metrics":{"ns/op":1100}},
+	{"name":"CatalogWarmRestart","procs":8,"iterations":1,"metrics":{"ns/op":500}}
+]}`
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBenchdiffOK(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", baseSnap)
+	cur := writeSnap(t, dir, "cur.json", `{"rev":"new","benchmarks":[
+		{"name":"ParallelExact","metrics":{"ns/op":1200}},
+		{"name":"CatalogWarmRestart","metrics":{"ns/op":400}}
+	]}`)
+	// Best-of base is 1000; 1200 is +20% < 25%.
+	code, out, errb := runDiff(t, "-base", base, "-cur", cur, "ParallelExact", "CatalogWarmRestart")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out, errb)
+	}
+	if !strings.Contains(out, "ParallelExact") || !strings.Contains(out, "ok") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestBenchdiffRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", baseSnap)
+	cur := writeSnap(t, dir, "cur.json", `{"rev":"new","benchmarks":[
+		{"name":"ParallelExact","metrics":{"ns/op":1300}},
+		{"name":"CatalogWarmRestart","metrics":{"ns/op":500}}
+	]}`)
+	code, out, _ := runDiff(t, "-base", base, "-cur", cur, "ParallelExact", "CatalogWarmRestart")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestBenchdiffThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", baseSnap)
+	cur := writeSnap(t, dir, "cur.json", `{"rev":"new","benchmarks":[
+		{"name":"ParallelExact","metrics":{"ns/op":1300}}
+	]}`)
+	code, _, _ := runDiff(t, "-base", base, "-cur", cur, "-max-regress", "0.5", "ParallelExact")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 at 50%% threshold", code)
+	}
+}
+
+func TestBenchdiffMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", baseSnap)
+	cur := writeSnap(t, dir, "cur.json", `{"rev":"new","benchmarks":[
+		{"name":"ParallelExact","metrics":{"ns/op":900}}
+	]}`)
+	code, _, errb := runDiff(t, "-base", base, "-cur", cur, "ParallelExact", "CatalogWarmRestart")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for missing benchmark", code)
+	}
+	if !strings.Contains(errb, "CatalogWarmRestart") {
+		t.Fatalf("stderr %q", errb)
+	}
+}
+
+func TestBenchdiffUsage(t *testing.T) {
+	if code, _, _ := runDiff(t, "-base", "x.json"); code != 2 {
+		t.Fatalf("missing args: exit %d, want 2", code)
+	}
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "bad.json", "{not json")
+	if code, _, _ := runDiff(t, "-base", base, "-cur", base, "X"); code != 2 {
+		t.Fatalf("bad json: exit %d, want 2", code)
+	}
+}

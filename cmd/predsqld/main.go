@@ -12,10 +12,17 @@
 //
 // Endpoints:
 //
-//	POST /query    {"sql": "...", "timeout_ms": 500, "limit": 100}
+//	POST /query    {"sql": "...", "timeout_ms": 500, "limit": 100,
+//	               "explain": false}
 //	               → columns, rows, row ids and execution stats as JSON.
-//	               408 if the request waited out its deadline in admission,
-//	               504 if the deadline expired mid-query, 400 on bad input.
+//	               With "explain": true the statement is planned, not
+//	               executed: the response carries the physical operator
+//	               tree ("plan": one line per operator) and no UDF is ever
+//	               invoked. 408 if the request waited out its deadline in
+//	               admission, 504 if the deadline expired mid-query, 400 on
+//	               bad input — parse errors include the offending token's
+//	               position as {"error": ..., "line": l, "col": c}.
+//	GET  /tables   registered tables: name, row count, column names/types.
 //	GET  /stats    server counters (served/failed/timeouts/…) + tables.
 //	GET  /healthz  liveness probe.
 //
@@ -52,6 +59,7 @@ import (
 	"repro"
 	"repro/internal/cliutil"
 	"repro/internal/labels"
+	"repro/internal/sqlparse"
 )
 
 func main() {
@@ -260,6 +268,7 @@ func newServer(db *predeval.DB, cfg serverConfig) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -278,6 +287,11 @@ type queryRequest struct {
 	// (0 = all); row_count always reports the full result size. The query
 	// still executes fully; this only bounds the payload.
 	Limit int `json:"limit"`
+	// Explain plans the statement instead of executing it: the response is
+	// the physical operator tree (with estimated costs and the chosen
+	// correlated column where known) and no UDF is invoked. Equivalent to
+	// prefixing the SQL with EXPLAIN.
+	Explain bool `json:"explain"`
 }
 
 // queryStats mirrors predeval.Stats for the wire.
@@ -304,8 +318,36 @@ type queryResponse struct {
 	ElapsedMS float64    `json:"elapsed_ms"`
 }
 
+// errorResponse is the error payload; parse errors carry the offending
+// token's 1-based line and column.
 type errorResponse struct {
 	Error string `json:"error"`
+	Line  int    `json:"line,omitempty"`
+	Col   int    `json:"col,omitempty"`
+}
+
+// errorBody builds the error payload, surfacing parser positions when the
+// error chain carries them.
+func errorBody(err error) errorResponse {
+	resp := errorResponse{Error: err.Error()}
+	var perr *sqlparse.Error
+	if errors.As(err, &perr) {
+		resp.Line, resp.Col = perr.Line, perr.Col
+	}
+	return resp
+}
+
+// explainResponse is the POST /query payload when "explain" is set (or the
+// SQL starts with EXPLAIN): the operator tree, one line per operator.
+type explainResponse struct {
+	Plan []string `json:"plan"`
+}
+
+// isExplainSQL reports whether the statement's first word is EXPLAIN, so
+// keyword-explain requests take the same fast path as the request flag.
+func isExplainSQL(sql string) bool {
+	fields := strings.Fields(sql)
+	return len(fields) > 0 && strings.EqualFold(fields[0], "EXPLAIN")
 }
 
 // errAdmission marks a request whose deadline fired while queueing for an
@@ -334,6 +376,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if strings.TrimSpace(req.SQL) == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing sql"})
+		return
+	}
+	if req.Explain || isExplainSQL(req.SQL) {
+		// Planning never invokes a UDF, so it bypasses admission control:
+		// an EXPLAIN answers immediately even when every slot is busy. The
+		// EXPLAIN keyword and the request flag take the same path, so both
+		// return the same {"plan": [...]} payload.
+		text, err := s.db.Explain(req.SQL)
+		if err != nil {
+			s.failed.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody(err))
+			return
+		}
+		s.served.Add(1)
+		writeJSON(w, http.StatusOK, explainResponse{
+			Plan: strings.Split(strings.TrimRight(text, "\n"), "\n"),
+		})
 		return
 	}
 	timeout := s.cfg.DefaultTimeout
@@ -388,7 +447,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, statusClientClosedRequest, errorResponse{Error: err.Error()})
 		default:
 			s.failed.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			writeJSON(w, http.StatusBadRequest, errorBody(err))
 		}
 		return
 	}
@@ -398,10 +457,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Limit > 0 && req.Limit < n {
 		shown = req.Limit
 	}
+	ids := rows.RowIDs()
+	if len(ids) > shown {
+		ids = ids[:shown]
+	}
 	out := queryResponse{
 		Columns:   rows.Columns(),
 		Rows:      make([][]string, 0, shown),
-		RowIDs:    rows.RowIDs()[:shown],
+		RowIDs:    ids,
 		RowCount:  n,
 		Truncated: shown < n,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
@@ -423,6 +486,38 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// tableColumn is one column of a GET /tables entry.
+type tableColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// tableInfo is one GET /tables entry.
+type tableInfo struct {
+	Name    string        `json:"name"`
+	Rows    int           `json:"rows"`
+	Columns []tableColumn `json:"columns"`
+}
+
+// handleTables lists the registered tables with row counts and schemas.
+func (s *server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	tables := make([]tableInfo, 0)
+	for _, name := range s.db.TableNames() {
+		info, err := s.db.TableInfo(name)
+		if err != nil {
+			continue
+		}
+		ti := tableInfo{Name: info.Name, Rows: info.Rows}
+		for _, c := range info.Columns {
+			ti.Columns = append(ti.Columns, tableColumn{Name: c.Name, Type: c.Type})
+		}
+		tables = append(tables, ti)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tables []tableInfo `json:"tables"`
+	}{tables})
 }
 
 // cacheStats is the cross-query outcome-cache section of GET /stats.

@@ -422,3 +422,110 @@ func getStats(t *testing.T, url string) statsResponse {
 	}
 	return st
 }
+
+func TestServerExplainFlag(t *testing.T) {
+	srv, ts := testServer(t, 300, 50*time.Millisecond, serverConfig{})
+	status, body := mustPostQuery(t, ts.URL, queryRequest{
+		SQL:     "SELECT * FROM loans WHERE good_credit(id) = 1 WITH RECALL 0.8 GROUP ON grade",
+		Explain: true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var out struct {
+		Plan []string `json:"plan"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Plan) == 0 || !strings.Contains(out.Plan[0], "merge") {
+		t.Fatalf("plan %q", out.Plan)
+	}
+	joined := strings.Join(out.Plan, "\n")
+	for _, want := range []string{"group-resolve[pinned] column=grade", "solve[constrained]", "cost"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("plan missing %q:\n%s", want, joined)
+		}
+	}
+	// Each UDF call sleeps 50ms; an instant answer proves nothing executed.
+	if srv.served.Load() != 1 {
+		t.Fatalf("served %d", srv.served.Load())
+	}
+
+	// The EXPLAIN keyword takes the same fast path and payload as the flag.
+	status, body = mustPostQuery(t, ts.URL, queryRequest{
+		SQL: "  explain SELECT * FROM loans WHERE good_credit(id) = 1",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	out.Plan = nil
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Plan) == 0 || !strings.Contains(out.Plan[0], "exact-eval") {
+		t.Fatalf("plan %q", out.Plan)
+	}
+}
+
+func TestServerParseErrorPositions(t *testing.T) {
+	_, ts := testServer(t, 60, 0, serverConfig{})
+	status, body := mustPostQuery(t, ts.URL, queryRequest{SQL: "SELECT *\nFROM loans\nWHERE good_credit(id) = 3"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Line != 3 || er.Col != 25 {
+		t.Fatalf("position %d:%d (%s)", er.Line, er.Col, body)
+	}
+	if !strings.Contains(er.Error, "sqlparse:") {
+		t.Fatalf("error %q", er.Error)
+	}
+	// Engine-level errors carry no position.
+	status, body = mustPostQuery(t, ts.URL, queryRequest{SQL: "SELECT * FROM missing WHERE good_credit(id) = 1"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	er = errorResponse{}
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Line != 0 || er.Col != 0 {
+		t.Fatalf("unexpected position on engine error: %s", body)
+	}
+}
+
+func TestServerTables(t *testing.T) {
+	_, ts := testServer(t, 123, 0, serverConfig{})
+	resp, err := http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Tables []struct {
+			Name    string `json:"name"`
+			Rows    int    `json:"rows"`
+			Columns []struct {
+				Name string `json:"name"`
+				Type string `json:"type"`
+			} `json:"columns"`
+		} `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 1 || out.Tables[0].Name != "loans" || out.Tables[0].Rows != 123 {
+		t.Fatalf("tables %+v", out.Tables)
+	}
+	cols := out.Tables[0].Columns
+	if len(cols) != 2 || cols[0].Name != "id" || cols[0].Type != "int" || cols[1].Name != "grade" || cols[1].Type != "string" {
+		t.Fatalf("columns %+v", cols)
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/stats"
+)
+
+// Generalized conjunctions: N expensive predicates ANDed together. The
+// paper's five-action planner (Section 5) covers exactly two predicates and
+// lives in twopred.go; this file provides the N-ary substrate the planner
+// layer composes for every other conjunction shape:
+//
+//   - SampleConjunctionParallelCtx — fused sampling of all N predicates
+//     over a few rows per group (sampling never short-circuits: joint
+//     statistics need every outcome);
+//   - OrderPredicates — the classic greedy cheapest-first ordering by
+//     cost/(1−selectivity), using the sampled selectivity estimates;
+//   - ExecuteConjunctionWavesParallelCtx — short-circuit waves over the
+//     ordered predicates, where each wave evaluates only the survivors of
+//     the previous one and rows resolved during sampling are free.
+//
+// Everything is plan/evaluate split like the rest of the package: row
+// selection and ordering are sequential, UDF calls fan out across workers,
+// and outcomes merge back in plan order — so for a fixed seed the results
+// are bit-for-bit identical at every parallelism level.
+
+// ConjSample records, for one group, the sampled rows' outcomes under every
+// predicate.
+type ConjSample struct {
+	// Results maps sampled row → per-predicate outcomes (indexed like the
+	// udfs slice passed to SampleConjunctionParallelCtx).
+	Results map[int][]bool
+	// Pos counts rows passing each predicate; PosAll counts rows passing
+	// all of them.
+	Pos    []int
+	PosAll int
+}
+
+// SampleConjunctionParallelCtx evaluates every predicate on targets[i]
+// random tuples of each group, fusing all N×rows evaluations into a single
+// pooled wave. It returns the per-group samples plus pooled per-predicate
+// selectivity estimates (Beta-posterior means over all sampled rows) for
+// greedy ordering. The sample rows are drawn from the RNG up front, so the
+// sampled sets are identical at any parallelism level; a cancel returns
+// ctx.Err() with no partial samples.
+func SampleConjunctionParallelCtx(ctx context.Context, groups []Group, targets []int, udfs []UDF, rng *stats.RNG, parallelism int) ([]ConjSample, []float64, error) {
+	if len(targets) != len(groups) {
+		return nil, nil, fmt.Errorf("core: %d targets for %d groups", len(targets), len(groups))
+	}
+	if len(udfs) == 0 {
+		return nil, nil, fmt.Errorf("core: conjunction without predicates")
+	}
+	samples := make([]ConjSample, len(groups))
+	// Plan: draw every group's sample rows in order.
+	var work, groupOf []int
+	for i, g := range groups {
+		samples[i] = ConjSample{Results: make(map[int][]bool), Pos: make([]int, len(udfs))}
+		want := targets[i]
+		if want > len(g.Rows) {
+			want = len(g.Rows)
+		}
+		for _, idx := range rng.SampleWithoutReplacement(len(g.Rows), want) {
+			work = append(work, g.Rows[idx])
+			groupOf = append(groupOf, i)
+		}
+	}
+	// Evaluate: all predicates over all sampled rows as one pooled batch
+	// (predicate-major), so wide pools amortize N sequential barriers into
+	// one.
+	n := len(work)
+	verdicts := make([][]bool, len(udfs))
+	for j := range verdicts {
+		verdicts[j] = make([]bool, n)
+	}
+	err := exec.NewPool(parallelism).ForEachCtx(ctx, n*len(udfs), func(i int) {
+		j, k := i/n, i%n
+		verdicts[j][k] = udfs[j].Eval(work[k])
+	})
+	if n == 0 {
+		// ForEachCtx over zero items never checks ctx; normalize.
+		err = ctx.Err()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, row := range work {
+		i := groupOf[k]
+		outs := make([]bool, len(udfs))
+		all := true
+		for j := range udfs {
+			outs[j] = verdicts[j][k]
+			if outs[j] {
+				samples[i].Pos[j]++
+			} else {
+				all = false
+			}
+		}
+		samples[i].Results[row] = outs
+		if all {
+			samples[i].PosAll++
+		}
+	}
+	sels := make([]float64, len(udfs))
+	for j := range udfs {
+		pos := 0
+		for i := range samples {
+			pos += samples[i].Pos[j]
+		}
+		sels[j] = stats.NewBetaPosterior(pos, n-pos).Mean()
+	}
+	return samples, sels, nil
+}
+
+// OrderPredicates returns the greedy cheapest-first evaluation order for a
+// conjunction: ascending by the classic rank cost/(1−selectivity) — the
+// expected price a predicate pays per row it eliminates — with ties broken
+// by original position. A predicate that (by its sample) rejects nothing
+// ranks last: evaluating it early could never short-circuit anything.
+func OrderPredicates(costs, sels []float64) ([]int, error) {
+	if len(costs) != len(sels) {
+		return nil, fmt.Errorf("core: %d costs for %d selectivities", len(costs), len(sels))
+	}
+	rank := make([]float64, len(costs))
+	for i := range costs {
+		reject := 1 - sels[i]
+		if reject <= 0 {
+			rank[i] = math.Inf(1)
+			continue
+		}
+		rank[i] = costs[i] / reject
+	}
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rank[order[a]] < rank[order[b]] })
+	return order, nil
+}
+
+// ConjWavesResult is the outcome of a short-circuit wave execution.
+type ConjWavesResult struct {
+	// Output holds the rows passing every predicate, in input row order.
+	Output []int
+	// Retrieved counts rows fetched during the waves (rows fully resolved
+	// by sampling are free; a row rejected by a known outcome before its
+	// first unknown predicate is never fetched).
+	Retrieved int
+	// Evaluated counts the UDF calls issued per predicate during the waves
+	// (indexed like udfs; excludes sampling).
+	Evaluated []int
+}
+
+// ExecuteConjunctionWavesParallelCtx runs a conjunction over rows as
+// short-circuit waves: predicates are visited in the given order, each wave
+// evaluates its predicate only on the survivors of the previous waves, and
+// survivors of the final wave are the output. known[j], when non-nil, maps
+// row → already-paid outcome of predicate j (e.g. from sampling): known
+// rows are resolved without evaluation. Each wave fans out across up to
+// `parallelism` workers; survivor lists are maintained in input order, so
+// output and counts are identical at every parallelism level. A cancel
+// returns ctx.Err() and an empty result.
+func ExecuteConjunctionWavesParallelCtx(ctx context.Context, rows []int, order []int, known []map[int]bool, udfs []UDF, parallelism int) (ConjWavesResult, error) {
+	if len(order) != len(udfs) {
+		return ConjWavesResult{}, fmt.Errorf("core: order covers %d of %d predicates", len(order), len(udfs))
+	}
+	if known != nil && len(known) != len(udfs) {
+		return ConjWavesResult{}, fmt.Errorf("core: %d known maps for %d predicates", len(known), len(udfs))
+	}
+	seen := make([]bool, len(udfs))
+	for _, j := range order {
+		if j < 0 || j >= len(udfs) || seen[j] {
+			return ConjWavesResult{}, fmt.Errorf("core: invalid predicate order %v", order)
+		}
+		seen[j] = true
+	}
+	res := ConjWavesResult{Evaluated: make([]int, len(udfs))}
+	pool := exec.NewPool(parallelism)
+	survivors := rows
+	retrieved := make(map[int]bool, len(rows))
+	for _, j := range order {
+		var kn map[int]bool
+		if known != nil {
+			kn = known[j]
+		}
+		// Plan the wave: resolve known rows, emit slots for the rest so the
+		// merge below rebuilds the survivor list in input order.
+		type slot struct {
+			row     int
+			evalIdx int // -1: known pass, no evaluation needed
+		}
+		var slots []slot
+		var work []int
+		for _, row := range survivors {
+			if v, ok := kn[row]; ok {
+				if v {
+					slots = append(slots, slot{row: row, evalIdx: -1})
+				}
+				continue
+			}
+			slots = append(slots, slot{row: row, evalIdx: len(work)})
+			work = append(work, row)
+		}
+		verdicts, err := pool.EvalRowsCtx(ctx, work, udfs[j].Eval)
+		if err != nil {
+			return ConjWavesResult{}, err
+		}
+		res.Evaluated[j] += len(work)
+		for _, row := range work {
+			if !retrieved[row] {
+				retrieved[row] = true
+				res.Retrieved++
+			}
+		}
+		next := make([]int, 0, len(slots))
+		for _, sl := range slots {
+			if sl.evalIdx < 0 || verdicts[sl.evalIdx] {
+				next = append(next, sl.row)
+			}
+		}
+		survivors = next
+	}
+	res.Output = survivors
+	return res, nil
+}

@@ -133,8 +133,8 @@ func TestSameUDFConjunctionDeterministicStats(t *testing.T) {
 		}
 		res, err := e.Execute(Query{
 			Table: "loans", UDFName: "f", UDFArg: "id", Want: true,
-			And:    &Conjunct{UDFName: "f", UDFArg: "id", Want: true},
-			Approx: approx(0.75, 0.75, 0.8), GroupOn: "grade",
+			Conjuncts: []Conjunct{{UDFName: "f", UDFArg: "id", Want: true}},
+			Approx:    approx(0.75, 0.75, 0.8), GroupOn: "grade",
 		})
 		if err != nil {
 			t.Fatal(err)

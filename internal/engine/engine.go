@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/ml"
+	"repro/internal/plan"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
@@ -200,30 +201,6 @@ func (f *udfFault) Err() error {
 	return f.err
 }
 
-// rowUDF adapts a registered UDF to the core row-based interface, honoring
-// the query's "= 0/1" comparison. Panics inside the UDF body are captured
-// into the returned fault.
-func (e *Engine) rowUDF(tbl *table.Table, q Query) (core.UDF, *udfFault, error) {
-	u, err := e.registry.Lookup(q.UDFName)
-	if err != nil {
-		return nil, nil, err
-	}
-	col := tbl.ColumnByName(q.UDFArg)
-	if col == nil {
-		return nil, nil, fmt.Errorf("engine: table %q has no column %q for UDF argument", q.Table, q.UDFArg)
-	}
-	fault := &udfFault{}
-	return core.UDFFunc(func(row int) (result bool) {
-		defer func() {
-			if r := recover(); r != nil {
-				fault.record(fmt.Errorf("engine: UDF %q panicked on row %d: %v", q.UDFName, row, r))
-				result = false
-			}
-		}()
-		return u.Body(col.Value(row)) == q.Want
-	}), fault, nil
-}
-
 // costModel resolves the effective costs for the query's UDF.
 func (e *Engine) costModel(q Query) core.CostModel {
 	cost := e.Cost
@@ -246,57 +223,52 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 // evaluation, no entry is ever stored partially, and a later run of the
 // same query completes normally. See DESIGN.md, "Cancellation contract".
 func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
+	return e.executeStatement(ctx, q, nil)
+}
+
+// executeStatement is the uniform execution path for every query shape:
+// validate, bind tables and predicates, lower into the physical operator
+// tree, and run it. The former per-shape dispatch branches live on as plan
+// shapes (see planner.go and operators.go).
+func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoinQuery) (*Result, error) {
 	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateShape(q, join); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tbl, err := e.Table(q.Table)
+	st, err := e.bindStatement(q, join)
 	if err != nil {
 		return nil, err
 	}
-	udf, fault, err := e.rowUDF(tbl, q)
+	root, err := plan.Physical(e.buildSpec(st))
 	if err != nil {
 		return nil, err
-	}
-	if _, err := e.projection(tbl, q.Columns); err != nil {
-		return nil, err
-	}
-	cost := e.costModel(q)
-	subset, err := e.filterRows(tbl, q.Filters)
-	if err != nil {
-		return nil, err
-	}
-	if q.And != nil {
-		res, err := e.executeTwoPred(ctx, tbl, q, cost, subset)
-		if err == nil && fault.Err() != nil {
-			return nil, fault.Err()
-		}
-		if err == nil {
-			e.cacheHits.Add(int64(res.Stats.CacheHits))
-			e.cacheMisses.Add(int64(res.Stats.CacheMisses))
-		}
-		return res, err
 	}
 	// Captured before any evaluation: if a UDF body is replaced while this
 	// query runs, its learnings are not persisted (see persistQueryLearnings).
-	epoch := e.invalidations.Load()
-	meter := e.meterFor(q, udf, fault)
-	var res *Result
-	if q.Approx == nil {
-		res, err = e.executeExact(ctx, tbl, meter, cost, subset)
-	} else {
-		res, err = e.executeApprox(ctx, tbl, q, meter, cost, subset, fault, epoch)
+	st.epoch = e.invalidations.Load()
+	if q.Approx != nil {
+		// One split per approximate query, exactly like the legacy paths —
+		// exact shapes must not consume the engine's RNG stream.
+		e.mu.Lock()
+		st.rng = e.rng.Split()
+		e.mu.Unlock()
 	}
-	if err == nil && fault.Err() != nil {
-		return nil, fault.Err()
+	if err := e.runNode(ctx, root, st); err != nil {
+		return nil, err
 	}
-	if err == nil {
-		e.cacheHits.Add(int64(res.Stats.CacheHits))
-		e.cacheMisses.Add(int64(res.Stats.CacheMisses))
+	for _, p := range st.preds {
+		if err := p.fault.Err(); err != nil {
+			return nil, err
+		}
 	}
-	return res, err
+	e.cacheHits.Add(int64(st.res.Stats.CacheHits))
+	e.cacheMisses.Add(int64(st.res.Stats.CacheMisses))
+	return st.res, nil
 }
 
 // universe resolves a row subset: nil means every row of the table.
@@ -309,109 +281,6 @@ func universe(tbl *table.Table, subset []int) []int {
 		rows[i] = i
 	}
 	return rows
-}
-
-// executeExact evaluates the UDF on every row of the scan. The batch fans
-// out across the engine's worker pool; verdicts land at their scan index,
-// so the output order matches the sequential scan exactly.
-func (e *Engine) executeExact(ctx context.Context, tbl *table.Table, meter *core.Meter, cost core.CostModel, subset []int) (*Result, error) {
-	scan := universe(tbl, subset)
-	verdicts, err := e.pool().EvalRowsCtx(ctx, scan, meter.Eval)
-	if err != nil {
-		return nil, err
-	}
-	var rows []int
-	for i, r := range scan {
-		if verdicts[i] {
-			rows = append(rows, r)
-		}
-	}
-	n := len(scan)
-	return &Result{
-		Rows: rows,
-		Stats: Stats{
-			Evaluations: meter.Calls(),
-			Retrievals:  n,
-			Cost:        float64(n)*cost.Retrieve + float64(meter.Calls())*cost.Evaluate,
-			Exact:       true,
-			CacheHits:   meter.CacheHits(),
-			CacheMisses: meter.CacheMisses(),
-		},
-	}, nil
-}
-
-func (e *Engine) executeApprox(ctx context.Context, tbl *table.Table, q Query, meter *core.Meter, cost core.CostModel, subset []int, fault *udfFault, epoch int64) (*Result, error) {
-	e.mu.Lock()
-	rng := e.rng.Split()
-	e.mu.Unlock()
-
-	cons := q.Approx.Constraints()
-	groups, chosen, labeled, err := e.resolveGroups(ctx, tbl, q, meter, cons, cost, rng, subset)
-	if err != nil {
-		return nil, err
-	}
-
-	sampler := core.NewSampler(groups, meter, rng.Split())
-	sampler.SetParallelism(e.parallelism())
-	sampler.Preload(labeled)
-	// Warm-start: rows whose outcome an earlier process life paid for count
-	// as evidence without being re-examined, shrinking the top-ups below.
-	e.seedSamplerFromCatalog(sampler, q, chosen)
-	sizes := make([]int, len(groups))
-	for i, g := range groups {
-		sizes[i] = len(g.Rows)
-	}
-	alloc := core.TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}
-	if _, err := sampler.TopUpCtx(ctx, alloc.Allocate(sizes)); err != nil {
-		return nil, err
-	}
-	infos := sampler.Infos()
-
-	var strat core.Strategy
-	achieved := 0.0
-	if q.Budget > 0 {
-		spent := float64(meter.Calls()) * (cost.Retrieve + cost.Evaluate)
-		remaining := q.Budget - spent
-		if remaining < 0 {
-			remaining = 0
-		}
-		plan, err := core.PlanBudget(infos, cons.Alpha, cons.Rho, remaining, cost,
-			func(g []core.GroupInfo, c core.Constraints, cm core.CostModel) (core.Strategy, error) {
-				return core.PlanWithSamples(g, c, cm)
-			})
-		if err != nil {
-			return nil, err
-		}
-		strat = plan.Strategy
-		achieved = plan.AchievedBeta
-	} else {
-		strat, err = core.PlanWithSamples(infos, cons, cost)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	exec, err := core.ExecuteParallelCtx(ctx, groups, strat, sampler.Outcomes(), meter, cost, rng.Split(), e.parallelism())
-	if err != nil {
-		return nil, err
-	}
-	sort.Ints(exec.Output)
-	e.persistQueryLearnings(sampler, q, cost, chosen, fault, epoch)
-	sampled := sampler.TotalSampled()
-	retrievals := sampled + exec.Retrieved
-	return &Result{
-		Rows: exec.Output,
-		Stats: Stats{
-			Evaluations:         meter.Calls(),
-			Retrievals:          retrievals,
-			Cost:                float64(meter.Calls())*cost.Evaluate + float64(retrievals)*cost.Retrieve,
-			ChosenColumn:        chosen,
-			Sampled:             sampled,
-			AchievedRecallBound: achieved,
-			CacheHits:           meter.CacheHits(),
-			CacheMisses:         meter.CacheMisses(),
-		},
-	}, nil
 }
 
 // resolveGroups determines the grouping the optimizer will use: the pinned

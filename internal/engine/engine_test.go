@@ -490,8 +490,8 @@ func TestExecuteConjunction(t *testing.T) {
 	}
 	q := Query{
 		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
-		And:    &Conjunct{UDFName: "rich", UDFArg: "income", Want: true},
-		Approx: approx(0.75, 0.75, 0.8), GroupOn: "grade",
+		Conjuncts: []Conjunct{{UDFName: "rich", UDFArg: "income", Want: true}},
+		Approx:    approx(0.75, 0.75, 0.8), GroupOn: "grade",
 	}
 	res, err := e.Execute(q)
 	if err != nil {
@@ -541,7 +541,7 @@ func TestExecuteConjunctionExactShortCircuits(t *testing.T) {
 	}
 	q := Query{
 		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
-		And: &Conjunct{UDFName: "second", UDFArg: "id", Want: true},
+		Conjuncts: []Conjunct{{UDFName: "second", UDFArg: "id", Want: true}},
 	}
 	res, err := e.Execute(q)
 	if err != nil {
@@ -571,20 +571,20 @@ func TestExecuteConjunctionValidation(t *testing.T) {
 	e, _, _ := newTestEngine(t, 90)
 	base := Query{
 		Table: "loans", UDFName: "good_credit", UDFArg: "id", Want: true,
-		And:    &Conjunct{UDFName: "good_credit", UDFArg: "id", Want: true},
-		Approx: approx(0.8, 0.8, 0.8),
+		Conjuncts: []Conjunct{{UDFName: "good_credit", UDFArg: "id", Want: true}},
+		Approx:    approx(0.8, 0.8, 0.8),
 	}
 	if _, err := e.Execute(base); err == nil {
 		t.Fatal("conjunction without GROUP ON accepted")
 	}
 	bad := base
-	bad.And = &Conjunct{}
+	bad.Conjuncts = []Conjunct{{}}
 	if _, err := e.Execute(bad); err == nil {
 		t.Fatal("empty conjunct accepted")
 	}
 	bad = base
 	bad.GroupOn = "grade"
-	bad.And = &Conjunct{UDFName: "missing", UDFArg: "id", Want: true}
+	bad.Conjuncts = []Conjunct{{UDFName: "missing", UDFArg: "id", Want: true}}
 	if _, err := e.Execute(bad); err == nil {
 		t.Fatal("unknown second UDF accepted")
 	}

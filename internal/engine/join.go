@@ -3,9 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sort"
 
-	"repro/internal/core"
 	"repro/internal/table"
 )
 
@@ -32,158 +30,11 @@ func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 }
 
 // ExecuteSelectJoinContext is ExecuteSelectJoin honoring a context (same
-// cancellation contract as ExecuteContext).
+// cancellation contract as ExecuteContext). The join runs through the same
+// planner pipeline as every other shape: group-resolve → join-group →
+// sample → solve(join-weights) → prob-eval → merge (see operators.go).
 func (e *Engine) ExecuteSelectJoinContext(ctx context.Context, q SelectJoinQuery) (*Result, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if q.Approx == nil {
-		return nil, fmt.Errorf("engine: select-join requires WITH PRECISION/RECALL/PROBABILITY")
-	}
-	if q.GroupOn == "" || q.GroupOn == VirtualColumn {
-		return nil, fmt.Errorf("engine: select-join requires an explicit GROUP ON column")
-	}
-	tbl, err := e.Table(q.Table)
-	if err != nil {
-		return nil, err
-	}
-	joinTbl, err := e.Table(q.JoinTable)
-	if err != nil {
-		return nil, err
-	}
-	leftCol := tbl.ColumnByName(q.LeftKey)
-	if leftCol == nil {
-		return nil, fmt.Errorf("engine: table %q has no column %q", q.Table, q.LeftKey)
-	}
-	rightCol := joinTbl.ColumnByName(q.RightKey)
-	if rightCol == nil {
-		return nil, fmt.Errorf("engine: table %q has no column %q", q.JoinTable, q.RightKey)
-	}
-	udf, fault, err := e.rowUDF(tbl, q.Query)
-	if err != nil {
-		return nil, err
-	}
-	epoch := e.invalidations.Load()
-	meter := e.meterFor(q.Query, udf, fault)
-	cost := e.costModel(q.Query)
-	cons := q.Approx.Constraints()
-	e.mu.Lock()
-	rng := e.rng.Split()
-	e.mu.Unlock()
-
-	// Join-key multiplicities from the join table.
-	mult := make(map[string]int)
-	for i := 0; i < joinTbl.NumRows(); i++ {
-		mult[rightCol.StringAt(i)]++
-	}
-
-	// Subgroups: (correlated value, join multiplicity) pairs, so tuples in
-	// one subgroup share both selectivity behaviour and weight.
-	subset, err := e.filterRows(tbl, q.Filters)
-	if err != nil {
-		return nil, err
-	}
-	base, err := groupsFromColumn(tbl, q.GroupOn, subset)
-	if err != nil {
-		return nil, err
-	}
-	type subKey struct {
-		group  int
-		weight int
-	}
-	sub := make(map[subKey][]int)
-	for gi, g := range base {
-		for _, row := range g.Rows {
-			w := mult[leftCol.StringAt(row)]
-			if w == 0 {
-				// A tuple whose join key matches nothing can never appear in
-				// the join result: sampling or retrieving it would pay real
-				// UDF cost for an unreturnable tuple. Drop it before the
-				// sampler ever sees it.
-				continue
-			}
-			sub[subKey{gi, w}] = append(sub[subKey{gi, w}], row)
-		}
-	}
-	if len(sub) == 0 {
-		// Every tuple had multiplicity 0: the join result is empty, and no
-		// retrieval or evaluation is ever worth paying.
-		return &Result{Stats: Stats{ChosenColumn: q.GroupOn}}, nil
-	}
-	keys := make([]subKey, 0, len(sub))
-	for k := range sub {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].group != keys[b].group {
-			return keys[a].group < keys[b].group
-		}
-		return keys[a].weight < keys[b].weight
-	})
-
-	groups := make([]core.Group, len(keys))
-	for i, k := range keys {
-		groups[i] = core.Group{
-			Key:  fmt.Sprintf("%s/w%d", base[k.group].Key, k.weight),
-			Rows: sub[k],
-		}
-	}
-
-	// Estimate subgroup selectivities by sampling, then plan with weights.
-	sampler := core.NewSampler(groups, meter, rng.Split())
-	sampler.SetParallelism(e.parallelism())
-	e.seedSamplerFromCatalog(sampler, q.Query, q.GroupOn)
-	sizes := make([]int, len(groups))
-	for i, g := range groups {
-		sizes[i] = len(g.Rows)
-	}
-	if _, err := sampler.TopUpCtx(ctx, (core.TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}).Allocate(sizes)); err != nil {
-		return nil, err
-	}
-	infos := sampler.Infos()
-	joinGroups := make([]core.JoinGroup, len(keys))
-	for i, k := range keys {
-		joinGroups[i] = core.JoinGroup{
-			Size:        infos[i].Remaining(),
-			Selectivity: infos[i].Selectivity,
-			JoinWeight:  float64(k.weight),
-		}
-	}
-	strat, err := core.PlanSelectJoin(joinGroups, cons, cost)
-	if err != nil {
-		return nil, err
-	}
-	// The strategy covers remaining tuples; execute over the groups with
-	// the sampler's outcomes honored.
-	exec, err := core.ExecuteParallelCtx(ctx, groups, strat, sampler.Outcomes(), meter, cost, rng.Split(), e.parallelism())
-	if err != nil {
-		return nil, err
-	}
-	sort.Ints(exec.Output)
-	if fault.Err() != nil {
-		return nil, fault.Err()
-	}
-	e.persistQueryLearnings(sampler, q.Query, cost, q.GroupOn, fault, epoch)
-	sampled := sampler.TotalSampled()
-	retrievals := sampled + exec.Retrieved
-	res := &Result{
-		Rows: exec.Output,
-		Stats: Stats{
-			Evaluations:  meter.Calls(),
-			Retrievals:   retrievals,
-			Cost:         float64(meter.Calls())*cost.Evaluate + float64(retrievals)*cost.Retrieve,
-			ChosenColumn: q.GroupOn,
-			Sampled:      sampled,
-			CacheHits:    meter.CacheHits(),
-			CacheMisses:  meter.CacheMisses(),
-		},
-	}
-	e.cacheHits.Add(int64(res.Stats.CacheHits))
-	e.cacheMisses.Add(int64(res.Stats.CacheMisses))
-	return res, nil
+	return e.executeStatement(ctx, q.Query, &q)
 }
 
 // JoinMultiplicities is a helper exposing the per-key match counts of a

@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// Physical-operator execution. The planner (planner.go + internal/plan)
+// shapes every query into a chain of physical operators; runNode walks the
+// chain bottom-up, each operator reading and extending the shared pipeline
+// state. The operator bodies are the former executeExact / executeApprox /
+// executeTwoPred / ExecuteSelectJoin code paths, extracted statement-for-
+// statement so the determinism contract is preserved bit-for-bit: RNG
+// splits happen in the same order, meters charge the same rows, and Stats
+// are assembled with the same formulas.
+
+// resolvedPred is one expensive predicate bound to the engine: the raw UDF
+// wrapper (panic-capturing), its fault box, its metered (and usually
+// cache-backed) evaluator, and its effective o_e.
+type resolvedPred struct {
+	spec  Conjunct
+	udf   core.UDF
+	fault *udfFault
+	meter *core.Meter
+	cost  float64
+}
+
+// pipeState is the shared state flowing through a pipeline's operators.
+type pipeState struct {
+	q    Query
+	join *SelectJoinQuery
+	tbl  *table.Table
+	cost core.CostModel
+	// preds holds the resolved predicates, first predicate first.
+	preds []resolvedPred
+	// epoch is the invalidation epoch captured before any evaluation (see
+	// persistQueryLearnings).
+	epoch int64
+	// rng is the query's RNG stream, split from the engine's once per
+	// approximate query (nil for exact shapes — they must not consume the
+	// engine stream).
+	rng *stats.RNG
+
+	// Products of the operators, in pipeline order.
+	subset      []int             // op filter
+	groups      []core.Group      // op group-resolve (or join-group)
+	chosen      string            // op group-resolve
+	labeled     map[int]bool      // op group-resolve (discovery/virtual labels)
+	joinTbl     *table.Table      // join shape, bound during validation
+	leftCol     table.Column      // join shape
+	rightCol    table.Column      // join shape
+	joinWeights []float64         // op join-group, parallel to groups
+	sampler     *core.Sampler     // op sample
+	strategy    core.Strategy     // op solve
+	achieved    float64           // op solve (budget mode)
+	conjSamples []core.ConjSample // op conj-sample
+	conjSels    []float64         // op conj-sample
+	exec        core.ExecResult   // op prob-eval
+
+	// res is the finished result; once set, remaining operators are
+	// skipped (used by terminal operators and short-circuits like the
+	// empty join).
+	res *Result
+}
+
+// bindStatement resolves every name a statement references — the base
+// table, the join table and its keys, each predicate's UDF and argument
+// column, and a pinned grouping column — into the pipeline state. Both
+// execution and EXPLAIN planning bind through here, so the two paths
+// accept and reject exactly the same statements.
+func (e *Engine) bindStatement(q Query, join *SelectJoinQuery) (*pipeState, error) {
+	tbl, err := e.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	st := &pipeState{q: q, join: join, tbl: tbl, cost: e.costModel(q)}
+	if join != nil {
+		st.joinTbl, err = e.Table(join.JoinTable)
+		if err != nil {
+			return nil, err
+		}
+		st.leftCol = tbl.ColumnByName(join.LeftKey)
+		if st.leftCol == nil {
+			return nil, fmt.Errorf("engine: table %q has no column %q", q.Table, join.LeftKey)
+		}
+		st.rightCol = st.joinTbl.ColumnByName(join.RightKey)
+		if st.rightCol == nil {
+			return nil, fmt.Errorf("engine: table %q has no column %q", join.JoinTable, join.RightKey)
+		}
+	}
+	st.preds, err = e.resolvePreds(tbl, q)
+	if err != nil {
+		return nil, err
+	}
+	// A pinned grouping column is only consulted by grouping shapes (exact
+	// shapes ignore GroupOn), so only those reject a bad name.
+	if q.Approx != nil && q.GroupOn != "" && q.GroupOn != VirtualColumn && tbl.ColumnByName(q.GroupOn) == nil {
+		return nil, fmt.Errorf("engine: table %q has no column %q to group on", q.Table, q.GroupOn)
+	}
+	if _, err := e.projection(tbl, q.Columns); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// resolvePreds binds every predicate of the query: the UDF wrapper, its
+// fault box and its meter. In approximate conjunctions, a predicate whose
+// (UDF, argument) key collides with an earlier one gets a private meter:
+// two meters sharing one cache while sampling evaluates both predicates
+// concurrently over the same rows would make the charged-call split depend
+// on store timing. Exact conjunctions keep the shared cache even for
+// duplicates — their waves are sequential barriers, so the later
+// predicate's lookups deterministically hit what the earlier one stored.
+func (e *Engine) resolvePreds(tbl *table.Table, q Query) ([]resolvedPred, error) {
+	specs := q.predicates()
+	preds := make([]resolvedPred, len(specs))
+	for i, p := range specs {
+		udf, fault, err := e.rowUDFPred(tbl, q.Table, p)
+		if err != nil {
+			return nil, err
+		}
+		private := false
+		for j := 0; q.Approx != nil && j < i; j++ {
+			if specs[j].UDFName == p.UDFName && specs[j].UDFArg == p.UDFArg {
+				private = true
+				break
+			}
+		}
+		var meter *core.Meter
+		if private {
+			meter = core.NewMeter(udf)
+		} else {
+			meter = e.meterForPred(q.Table, p, udf, fault)
+		}
+		preds[i] = resolvedPred{spec: p, udf: udf, fault: fault, meter: meter, cost: e.predCost(p)}
+	}
+	return preds, nil
+}
+
+// rowUDFPred adapts a registered UDF to the core row-based interface for
+// one predicate, honoring its "= 0/1" comparison. Panics inside the UDF
+// body are captured into the returned fault.
+func (e *Engine) rowUDFPred(tbl *table.Table, tableName string, p Conjunct) (core.UDF, *udfFault, error) {
+	u, err := e.registry.Lookup(p.UDFName)
+	if err != nil {
+		return nil, nil, err
+	}
+	col := tbl.ColumnByName(p.UDFArg)
+	if col == nil {
+		return nil, nil, fmt.Errorf("engine: table %q has no column %q for UDF argument", tableName, p.UDFArg)
+	}
+	fault := &udfFault{}
+	return core.UDFFunc(func(row int) (result bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				fault.record(fmt.Errorf("engine: UDF %q panicked on row %d: %v", p.UDFName, row, r))
+				result = false
+			}
+		}()
+		return u.Body(col.Value(row)) == p.Want
+	}), fault, nil
+}
+
+// runNode executes a physical plan node: children first (pipeline tail),
+// then the node's own operator. A node whose child already finished the
+// result (an operator short-circuit) is skipped.
+func (e *Engine) runNode(ctx context.Context, n *plan.Node, st *pipeState) error {
+	for _, c := range n.Children {
+		if err := e.runNode(ctx, c, st); err != nil {
+			return err
+		}
+	}
+	if st.res != nil {
+		return nil
+	}
+	switch n.Op {
+	case plan.OpScan:
+		return nil // the row universe is implicit (subset nil = all rows)
+	case plan.OpFilter:
+		return e.opFilter(st)
+	case plan.OpGroupResolve:
+		return e.opGroupResolve(ctx, st)
+	case plan.OpJoinGroup:
+		return e.opJoinGroup(st)
+	case plan.OpSample:
+		return e.opSample(ctx, st)
+	case plan.OpSolve:
+		return e.opSolve(n.Mode, st)
+	case plan.OpProbEval:
+		return e.opProbEval(ctx, st)
+	case plan.OpMerge:
+		return e.opMerge(st)
+	case plan.OpExactEval:
+		return e.opExactEval(ctx, st)
+	case plan.OpConjSample:
+		if n.Mode == plan.ModeTwoPred {
+			return nil // performed inside the fused §5 operator (opConjExec)
+		}
+		return e.opConjSample(ctx, st)
+	case plan.OpConjSolve:
+		return nil // planned jointly with execution in opConjExec (§5)
+	case plan.OpConjExec:
+		return e.opConjExec(ctx, st)
+	case plan.OpConjWaves:
+		return e.opConjWaves(ctx, n.Mode, st)
+	default:
+		return fmt.Errorf("engine: unknown physical operator %q", n.Op)
+	}
+}
+
+// opFilter applies the cheap predicates, shrinking the row universe.
+func (e *Engine) opFilter(st *pipeState) error {
+	subset, err := e.filterRows(st.tbl, st.q.Filters)
+	if err != nil {
+		return err
+	}
+	st.subset = subset
+	return nil
+}
+
+// opGroupResolve determines the grouping the optimizer will use: the
+// pinned column, a discovered correlated column (memo-accelerated), or the
+// logistic-regression virtual column.
+func (e *Engine) opGroupResolve(ctx context.Context, st *pipeState) error {
+	cons := core.Constraints{}
+	if st.q.Approx != nil {
+		cons = st.q.Approx.Constraints()
+	}
+	groups, chosen, labeled, err := e.resolveGroups(ctx, st.tbl, st.q, st.preds[0].meter, cons, st.cost, st.rng, st.subset)
+	if err != nil {
+		return err
+	}
+	st.groups, st.chosen, st.labeled = groups, chosen, labeled
+	return nil
+}
+
+// opJoinGroup splits each group into (group, join-multiplicity) subgroups,
+// so tuples in one subgroup share both selectivity behaviour and weight.
+// Tuples whose join key matches nothing can never appear in the join
+// result; they are dropped before the sampler ever sees them, and an
+// entirely empty join short-circuits the pipeline.
+func (e *Engine) opJoinGroup(st *pipeState) error {
+	mult := make(map[string]int)
+	for i := 0; i < st.joinTbl.NumRows(); i++ {
+		mult[st.rightCol.StringAt(i)]++
+	}
+	type subKey struct {
+		group  int
+		weight int
+	}
+	sub := make(map[subKey][]int)
+	for gi, g := range st.groups {
+		for _, row := range g.Rows {
+			w := mult[st.leftCol.StringAt(row)]
+			if w == 0 {
+				continue
+			}
+			sub[subKey{gi, w}] = append(sub[subKey{gi, w}], row)
+		}
+	}
+	if len(sub) == 0 {
+		st.res = &Result{Stats: Stats{ChosenColumn: st.q.GroupOn}}
+		return nil
+	}
+	keys := make([]subKey, 0, len(sub))
+	for k := range sub {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].group != keys[b].group {
+			return keys[a].group < keys[b].group
+		}
+		return keys[a].weight < keys[b].weight
+	})
+	groups := make([]core.Group, len(keys))
+	weights := make([]float64, len(keys))
+	for i, k := range keys {
+		groups[i] = core.Group{
+			Key:  fmt.Sprintf("%s/w%d", st.groups[k.group].Key, k.weight),
+			Rows: sub[k],
+		}
+		weights[i] = float64(k.weight)
+	}
+	st.groups, st.joinWeights = groups, weights
+	return nil
+}
+
+// opSample estimates per-group selectivities: preload rows labeled during
+// group resolution, warm-start from the durable catalog, then top up with
+// the Two-Third-Power allocation.
+func (e *Engine) opSample(ctx context.Context, st *pipeState) error {
+	cons := st.q.Approx.Constraints()
+	sampler := core.NewSampler(st.groups, st.preds[0].meter, st.rng.Split())
+	sampler.SetParallelism(e.parallelism())
+	sampler.Preload(st.labeled)
+	e.seedSamplerFromCatalog(sampler, st.q, st.chosen)
+	sizes := make([]int, len(st.groups))
+	for i, g := range st.groups {
+		sizes[i] = len(g.Rows)
+	}
+	alloc := core.TwoThirdPowerAllocator{Num: 2.5 * cons.Alpha}
+	if _, err := sampler.TopUpCtx(ctx, alloc.Allocate(sizes)); err != nil {
+		return err
+	}
+	st.sampler = sampler
+	return nil
+}
+
+// opSolve turns the sampling estimates into an execution strategy: the
+// constrained program, the fixed-budget objective, or the join-weighted
+// variant.
+func (e *Engine) opSolve(mode string, st *pipeState) error {
+	infos := st.sampler.Infos()
+	cons := st.q.Approx.Constraints()
+	switch mode {
+	case plan.ModeBudget:
+		spent := float64(st.preds[0].meter.Calls()) * (st.cost.Retrieve + st.cost.Evaluate)
+		remaining := st.q.Budget - spent
+		if remaining < 0 {
+			remaining = 0
+		}
+		p, err := core.PlanBudget(infos, cons.Alpha, cons.Rho, remaining, st.cost,
+			func(g []core.GroupInfo, c core.Constraints, cm core.CostModel) (core.Strategy, error) {
+				return core.PlanWithSamples(g, c, cm)
+			})
+		if err != nil {
+			return err
+		}
+		st.strategy = p.Strategy
+		st.achieved = p.AchievedBeta
+	case plan.ModeJoinWeight:
+		joinGroups := make([]core.JoinGroup, len(infos))
+		for i, info := range infos {
+			joinGroups[i] = core.JoinGroup{
+				Size:        info.Remaining(),
+				Selectivity: info.Selectivity,
+				JoinWeight:  st.joinWeights[i],
+			}
+		}
+		strat, err := core.PlanSelectJoin(joinGroups, cons, st.cost)
+		if err != nil {
+			return err
+		}
+		st.strategy = strat
+	default:
+		strat, err := core.PlanWithSamples(infos, cons, st.cost)
+		if err != nil {
+			return err
+		}
+		st.strategy = strat
+	}
+	return nil
+}
+
+// opProbEval executes the strategy: per-tuple retrieve/evaluate coins
+// drawn sequentially, UDF calls fanned across the worker pool.
+func (e *Engine) opProbEval(ctx context.Context, st *pipeState) error {
+	exec, err := core.ExecuteParallelCtx(ctx, st.groups, st.strategy, st.sampler.Outcomes(), st.preds[0].meter, st.cost, st.rng.Split(), e.parallelism())
+	if err != nil {
+		return err
+	}
+	st.exec = exec
+	return nil
+}
+
+// opMerge sorts the output, persists what the query learned, and assembles
+// the result statistics for sampler-based pipelines. (Conjunction
+// operators are terminal and assemble their own stats.)
+func (e *Engine) opMerge(st *pipeState) error {
+	sort.Ints(st.exec.Output)
+	e.persistQueryLearnings(st.sampler, st.q, st.cost, st.chosen, st.preds[0].fault, st.epoch)
+	meter := st.preds[0].meter
+	sampled := st.sampler.TotalSampled()
+	retrievals := sampled + st.exec.Retrieved
+	st.res = &Result{
+		Rows: st.exec.Output,
+		Stats: Stats{
+			Evaluations:         meter.Calls(),
+			Retrievals:          retrievals,
+			Cost:                float64(meter.Calls())*st.cost.Evaluate + float64(retrievals)*st.cost.Retrieve,
+			ChosenColumn:        st.chosen,
+			Sampled:             sampled,
+			AchievedRecallBound: st.achieved,
+			CacheHits:           meter.CacheHits(),
+			CacheMisses:         meter.CacheMisses(),
+		},
+	}
+	return nil
+}
+
+// opExactEval evaluates the predicate on every row of the scan. The batch
+// fans out across the engine's worker pool; verdicts land at their scan
+// index, so the output order matches the sequential scan exactly.
+func (e *Engine) opExactEval(ctx context.Context, st *pipeState) error {
+	meter := st.preds[0].meter
+	scan := universe(st.tbl, st.subset)
+	verdicts, err := e.pool().EvalRowsCtx(ctx, scan, meter.Eval)
+	if err != nil {
+		return err
+	}
+	var rows []int
+	for i, r := range scan {
+		if verdicts[i] {
+			rows = append(rows, r)
+		}
+	}
+	n := len(scan)
+	st.res = &Result{
+		Rows: rows,
+		Stats: Stats{
+			Evaluations: meter.Calls(),
+			Retrievals:  n,
+			Cost:        float64(n)*st.cost.Retrieve + float64(meter.Calls())*st.cost.Evaluate,
+			Exact:       true,
+			CacheHits:   meter.CacheHits(),
+			CacheMisses: meter.CacheMisses(),
+		},
+	}
+	return nil
+}

@@ -42,19 +42,32 @@ type Query struct {
 	// Budget, when positive, switches to the fixed-budget objective:
 	// maximize recall subject to the precision bound and cost ≤ Budget.
 	Budget float64
-	// And, when non-nil, adds a second expensive predicate (a conjunction,
-	// Section 5): AND And.UDFName(And.UDFArg) = And.Want. Conjunctions
-	// require Approx and an explicit GroupOn column.
-	And *Conjunct
+	// Conjuncts adds further expensive predicates ANDed with the first
+	// (Section 5 and its N-ary generalization): for each c,
+	// AND c.UDFName(c.UDFArg) = c.Want. With exactly one conjunct and
+	// Approx set, the planner uses the paper's five-action two-predicate
+	// optimizer (which requires an explicit GroupOn column); with two or
+	// more, it samples every predicate, orders them cheapest-first and
+	// evaluates in short-circuit waves. Without Approx, conjunctions of any
+	// arity evaluate exactly, each wave touching only prior survivors.
+	Conjuncts []Conjunct
 	// Filters are cheap equality predicates evaluated before any UDF work.
 	Filters []Filter
 }
 
-// Conjunct is the second predicate of a two-UDF conjunction.
+// Conjunct is one additional expensive predicate of a conjunction.
 type Conjunct struct {
 	UDFName string
 	UDFArg  string
 	Want    bool
+}
+
+// predicates lists every expensive predicate of the query, first predicate
+// first.
+func (q Query) predicates() []Conjunct {
+	preds := make([]Conjunct, 0, 1+len(q.Conjuncts))
+	preds = append(preds, Conjunct{UDFName: q.UDFName, UDFArg: q.UDFArg, Want: q.Want})
+	return append(preds, q.Conjuncts...)
 }
 
 // Filter is a cheap (non-UDF) equality predicate. Per Section 5, cheap
@@ -88,13 +101,13 @@ func (q Query) Validate() error {
 	if q.Budget > 0 && q.Approx == nil {
 		return fmt.Errorf("engine: BUDGET requires WITH PRECISION/RECALL/PROBABILITY")
 	}
-	if q.And != nil {
-		if q.And.UDFName == "" || q.And.UDFArg == "" {
+	for _, c := range q.Conjuncts {
+		if c.UDFName == "" || c.UDFArg == "" {
 			return fmt.Errorf("engine: empty AND predicate")
 		}
-		if q.Budget > 0 {
-			return fmt.Errorf("engine: BUDGET is not supported with AND conjunctions")
-		}
+	}
+	if len(q.Conjuncts) > 0 && q.Budget > 0 {
+		return fmt.Errorf("engine: BUDGET is not supported with AND conjunctions")
 	}
 	return nil
 }

@@ -1,0 +1,290 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Logical lowers a spec into the logical plan: a composite root (select /
+// conjunction / join) over the scan → filter base, annotated with the
+// accuracy contract. Logical nodes say what the query means; Physical
+// decides how it runs.
+func Logical(s Spec) (*Node, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	base := s.scanChain()
+	var root *Node
+	switch {
+	case s.Join != nil:
+		root = &Node{
+			Op:       OpJoin,
+			Column:   s.Join.LeftKey,
+			Preds:    s.Preds,
+			Children: []*Node{base},
+			EstRows:  s.Rows,
+			Detail: []Attr{
+				{"table", s.Join.Table},
+				{"on", fmt.Sprintf("%s = %s.%s", s.Join.LeftKey, s.Join.Table, s.Join.RightKey)},
+			},
+		}
+	case len(s.Preds) > 1:
+		root = &Node{
+			Op:       OpConjunction,
+			Preds:    s.Preds,
+			Children: []*Node{base},
+			EstRows:  s.Rows,
+			Detail:   []Attr{{"predicates", predList(s.Preds)}},
+		}
+	default:
+		root = &Node{
+			Op:       OpSelect,
+			Preds:    s.Preds,
+			Children: []*Node{base},
+			EstRows:  s.Rows,
+			Detail:   []Attr{{"predicate", s.Preds[0].String()}},
+		}
+	}
+	if s.Approx != nil {
+		root.Detail = append(root.Detail, Attr{"accuracy", fmt.Sprintf("α=%g β=%g ρ=%g", s.Approx.Alpha, s.Approx.Beta, s.Approx.Rho)})
+		if s.Budget > 0 {
+			root.Detail = append(root.Detail, Attr{"budget", fmt.Sprintf("%g", s.Budget)})
+		}
+	} else {
+		root.Detail = append(root.Detail, Attr{"accuracy", "exact"})
+	}
+	return root, nil
+}
+
+// scanChain builds filter → scan (or a bare scan when there are no cheap
+// filters).
+func (s Spec) scanChain() *Node {
+	scan := &Node{Op: OpScan, Column: s.Table, EstRows: s.Rows,
+		Detail: []Attr{{"table", s.Table}}}
+	if len(s.Filters) == 0 {
+		return scan
+	}
+	fs := make([]string, len(s.Filters))
+	for i, f := range s.Filters {
+		fs[i] = fmt.Sprintf("%s = %q", f.Column, f.Value)
+	}
+	return &Node{
+		Op:          OpFilter,
+		Children:    []*Node{scan},
+		EstRows:     s.Rows,
+		CostIsBound: true,
+		Detail:      []Attr{{"predicates", strings.Join(fs, " AND ")}},
+	}
+}
+
+// Physical rewrites the logical plan into the physical operator tree the
+// engine executes. The rewrite rules are the former dispatch branches:
+//
+//   - select + exact          → exact-eval
+//   - select + approx         → group-resolve · sample · solve · prob-eval · merge
+//   - conjunction + exact     → conj-waves (query order)
+//   - conjunction + approx, 2 → group-resolve · conj-sample · conj-solve · conj-exec · merge
+//   - conjunction + approx, N → [group-resolve ·] conj-sample · conj-waves(greedy) · merge
+//   - join + approx           → group-resolve · join-group · sample · solve(weights) · prob-eval · merge
+func Physical(s Spec) (*Node, error) {
+	logical, err := Logical(s)
+	if err != nil {
+		return nil, err
+	}
+	base := logical.Child() // filter → scan chain, reused as the pipeline tail
+	switch logical.Op {
+	case OpJoin:
+		return s.physicalJoin(base), nil
+	case OpConjunction:
+		return s.physicalConjunction(base), nil
+	default:
+		return s.physicalSelect(base), nil
+	}
+}
+
+func (s Spec) physicalSelect(base *Node) *Node {
+	p := s.Preds[0]
+	if s.Approx == nil {
+		return &Node{
+			Op:       OpExactEval,
+			Preds:    s.Preds,
+			Children: []*Node{base},
+			EstRows:  s.Rows,
+			EstCost:  float64(s.Rows) * s.perRow(p),
+			Detail:   []Attr{{"predicate", p.String()}},
+		}
+	}
+	gr := s.groupResolve(base)
+	n := s.Rows
+	sampleRows := s.estSampleRows(n)
+	sample := &Node{
+		Op:       OpSample,
+		Children: []*Node{gr},
+		EstRows:  sampleRows,
+		EstCost:  float64(sampleRows) * s.perRow(p),
+		Detail:   []Attr{{"allocator", fmt.Sprintf("two-third-power num=%.3g", s.SampleNum)}},
+	}
+	solve := &Node{Op: OpSolve, Mode: ModeConstrained, Children: []*Node{sample},
+		Detail: []Attr{{"objective", fmt.Sprintf("min cost s.t. α=%g β=%g ρ=%g", s.Approx.Alpha, s.Approx.Beta, s.Approx.Rho)}}}
+	if s.Budget > 0 {
+		solve.Mode = ModeBudget
+		solve.Detail = []Attr{{"objective", fmt.Sprintf("max recall s.t. α=%g ρ=%g cost≤%g", s.Approx.Alpha, s.Approx.Rho, s.Budget)}}
+	}
+	eval := &Node{
+		Op:          OpProbEval,
+		Children:    []*Node{solve},
+		EstRows:     n,
+		EstCost:     float64(n-sampleRows) * s.perRow(p),
+		CostIsBound: true,
+		Detail:      []Attr{{"strategy", "per-group retrieve/evaluate coins"}},
+	}
+	return s.merge(eval)
+}
+
+func (s Spec) physicalConjunction(base *Node) *Node {
+	n := s.Rows
+	if s.Approx == nil {
+		return &Node{
+			Op:          OpConjWaves,
+			Mode:        ModeQueryOrder,
+			Preds:       s.Preds,
+			Children:    []*Node{base},
+			EstRows:     n,
+			EstCost:     float64(n) * (s.Retrieve + s.sumEval()),
+			CostIsBound: true,
+			Detail: []Attr{
+				{"order", predList(s.Preds)},
+				{"short-circuit", "each wave evaluates only prior survivors"},
+			},
+		}
+	}
+	sampleRows := s.estSampleRows(n)
+	conjSample := func(child *Node) *Node {
+		return &Node{
+			Op:       OpConjSample,
+			Preds:    s.Preds,
+			Children: []*Node{child},
+			EstRows:  sampleRows,
+			EstCost:  float64(sampleRows) * (s.Retrieve + s.sumEval()),
+			Detail:   []Attr{{"fused", fmt.Sprintf("all %d predicates per sampled row", len(s.Preds))}},
+		}
+	}
+	if len(s.Preds) == 2 {
+		gr := s.groupResolve(base)
+		sample := conjSample(gr)
+		sample.Mode = ModeTwoPred
+		solve := &Node{Op: OpConjSolve, Mode: ModeTwoPred, Children: []*Node{sample},
+			Detail: []Attr{{"actions", "discard | assume-both | eval-f1 | eval-f2 | eval-both (§5)"}}}
+		exec := &Node{
+			Op:          OpConjExec,
+			Preds:       s.Preds,
+			Children:    []*Node{solve},
+			EstRows:     n,
+			EstCost:     float64(n-sampleRows) * (s.Retrieve + s.sumEval()),
+			CostIsBound: true,
+		}
+		return s.merge(exec)
+	}
+	// N ≥ 3: sampled selectivities only order the short-circuit waves; the
+	// answer itself is exact.
+	child := base
+	if s.GroupOn != "" && s.GroupOn != s.VirtualName {
+		child = s.groupResolve(base)
+	}
+	waves := &Node{
+		Op:          OpConjWaves,
+		Mode:        ModeGreedyOrder,
+		Preds:       s.Preds,
+		Children:    []*Node{conjSample(child)},
+		EstRows:     n,
+		EstCost:     float64(n-sampleRows) * (s.Retrieve + s.sumEval()),
+		CostIsBound: true,
+		Detail: []Attr{
+			{"order", "cheapest-first by sampled cost/(1−selectivity)"},
+			{"short-circuit", "each wave evaluates only prior survivors"},
+		},
+	}
+	return s.merge(waves)
+}
+
+func (s Spec) physicalJoin(base *Node) *Node {
+	p := s.Preds[0]
+	gr := s.groupResolve(base)
+	jg := &Node{
+		Op:       OpJoinGroup,
+		Column:   s.Join.LeftKey,
+		Children: []*Node{gr},
+		EstRows:  s.Rows,
+		Detail: []Attr{
+			{"weights", fmt.Sprintf("join multiplicity of %s in %s.%s (%d rows)", s.Join.LeftKey, s.Join.Table, s.Join.RightKey, s.Join.Rows)},
+		},
+	}
+	n := s.Rows
+	sampleRows := s.estSampleRows(n)
+	sample := &Node{
+		Op:       OpSample,
+		Children: []*Node{jg},
+		EstRows:  sampleRows,
+		EstCost:  float64(sampleRows) * s.perRow(p),
+		Detail:   []Attr{{"allocator", fmt.Sprintf("two-third-power num=%.3g", s.SampleNum)}},
+	}
+	solve := &Node{Op: OpSolve, Mode: ModeJoinWeight, Children: []*Node{sample},
+		Detail: []Attr{{"objective", fmt.Sprintf("min cost s.t. join-weighted α=%g β=%g ρ=%g", s.Approx.Alpha, s.Approx.Beta, s.Approx.Rho)}}}
+	eval := &Node{
+		Op:          OpProbEval,
+		Children:    []*Node{solve},
+		EstRows:     n,
+		EstCost:     float64(n-sampleRows) * s.perRow(p),
+		CostIsBound: true,
+		Detail:      []Attr{{"strategy", "per-subgroup retrieve/evaluate coins"}},
+	}
+	return s.merge(eval)
+}
+
+// groupResolve builds the group-resolve node for the spec's GroupOn.
+func (s Spec) groupResolve(child *Node) *Node {
+	n := &Node{Op: OpGroupResolve, Children: []*Node{child}, EstRows: s.Rows}
+	switch s.GroupOn {
+	case "":
+		n.Mode = ModeAuto
+		labelRows := s.estLabelRows(s.Rows)
+		if s.MemoColumn != "" {
+			n.Column = s.MemoColumn
+			n.Detail = []Attr{
+				{"column", s.MemoColumn + " (catalog memo; re-discovered if stale)"},
+			}
+			return n
+		}
+		n.Detail = []Attr{{"column", "discovered at runtime (§4.4 column scan)"}}
+		n.EstCost = float64(labelRows) * s.perRow(s.Preds[0])
+		n.Detail = append(n.Detail, Attr{"labeling", fmt.Sprintf("≈%d rows", labelRows)})
+	case s.VirtualName:
+		n.Mode = ModeVirtual
+		n.Column = s.VirtualName
+		labelRows := s.estLabelRows(s.Rows)
+		n.EstCost = float64(labelRows) * s.perRow(s.Preds[0])
+		n.Detail = []Attr{
+			{"column", "logistic-regression buckets (§6.3.2)"},
+			{"labeling", fmt.Sprintf("≈%d rows", labelRows)},
+		}
+	default:
+		n.Mode = ModePinned
+		n.Column = s.GroupOn
+		n.Detail = []Attr{{"column", s.GroupOn}}
+	}
+	return n
+}
+
+// merge appends the common sort/assemble tail.
+func (s Spec) merge(child *Node) *Node {
+	return &Node{Op: OpMerge, Children: []*Node{child},
+		Detail: []Attr{{"output", "row ids, ascending"}}}
+}
+
+func predList(preds []Pred) string {
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}

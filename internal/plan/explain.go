@@ -1,0 +1,73 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a plan tree as the EXPLAIN text: one node per line,
+// box-drawing indentation, with the node's mode, principal column,
+// attributes and cost estimates. The output is stable (attributes are
+// ordered), so it is safe to golden-test.
+func Format(root *Node) string {
+	var b strings.Builder
+	writeNode(&b, root, "", "")
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(nodeLine(n))
+	b.WriteByte('\n')
+	for i, c := range n.Children {
+		last := i == len(n.Children)-1
+		connector, extend := "├─ ", "│  "
+		if last {
+			connector, extend = "└─ ", "   "
+		}
+		writeNode(b, c, childPrefix+connector, childPrefix+extend)
+	}
+}
+
+// nodeLine renders one node: "op[mode] key=value ...  (rows=…, cost≈…)".
+func nodeLine(n *Node) string {
+	var b strings.Builder
+	b.WriteString(string(n.Op))
+	if n.Mode != "" {
+		fmt.Fprintf(&b, "[%s]", n.Mode)
+	}
+	for _, a := range n.Detail {
+		fmt.Fprintf(&b, " %s=%s", a.Key, quoteIfSpacey(a.Value))
+	}
+	est := estimates(n)
+	if est != "" {
+		b.WriteString("  (")
+		b.WriteString(est)
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func estimates(n *Node) string {
+	var parts []string
+	if n.EstRows > 0 {
+		parts = append(parts, fmt.Sprintf("rows≈%d", n.EstRows))
+	}
+	if n.EstCost > 0 {
+		rel := "≈"
+		if n.CostIsBound {
+			rel = "≤"
+		}
+		parts = append(parts, fmt.Sprintf("cost%s%.6g", rel, n.EstCost))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// quoteIfSpacey wraps multi-word attribute values in quotes so lines stay
+// machine-splittable on spaces around '='.
+func quoteIfSpacey(v string) string {
+	if strings.ContainsAny(v, " \t") {
+		return "«" + v + "»"
+	}
+	return v
+}

@@ -1,0 +1,242 @@
+// Package plan is the engine's planner layer: the SQL layer's query
+// description is lowered into a logical plan (scan → cheap-filter →
+// group-resolve → sample → solve → probabilistic-eval → merge, with
+// conjunctions and joins as composite nodes), and rewrite rules turn the
+// logical plan into a tree of physical operators that the engine executes
+// uniformly. Every node is printable, which is what EXPLAIN renders.
+//
+// The package is deliberately free of engine dependencies: the engine
+// lowers its Query into a Spec (adding what only it knows — row counts,
+// cost model, per-predicate costs, any catalog-memoized column choice) and
+// walks the returned physical tree to run the extracted operators. Keeping
+// the shapes here means a new query form is a new rewrite rule plus an
+// operator, not a new dispatch branch.
+package plan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op identifies a plan node. Logical ops describe what a query means;
+// physical ops name the operator the engine will run.
+type Op string
+
+const (
+	// Logical ops.
+	OpSelect      Op = "select"      // composite: predicates over a scan
+	OpConjunction Op = "conjunction" // composite: N expensive predicates ANDed
+	OpJoin        Op = "join"        // composite: selection before join
+
+	// Shared logical/physical pipeline stages.
+	OpScan         Op = "scan"          // row universe of a table
+	OpFilter       Op = "filter"        // cheap typed predicates, pushed first
+	OpGroupResolve Op = "group-resolve" // correlated-column grouping
+	OpSample       Op = "sample"        // per-group selectivity estimation
+	OpSolve        Op = "solve"         // optimizer: strategy from estimates
+	OpProbEval     Op = "prob-eval"     // per-tuple retrieve/evaluate coins
+	OpMerge        Op = "merge"         // sort row ids, assemble stats
+
+	// Physical-only operators.
+	OpExactEval  Op = "exact-eval"  // evaluate the predicate on every row
+	OpConjSample Op = "conj-sample" // fused sampling of all N predicates
+	OpConjSolve  Op = "conj-solve"  // §5 five-action per-group plan (N=2)
+	OpConjExec   Op = "conj-exec"   // execute the five-action plan
+	OpConjWaves  Op = "conj-waves"  // short-circuit waves over ordered preds
+	OpJoinGroup  Op = "join-group"  // (group, join-multiplicity) subgroups
+)
+
+// Group-resolve modes (Node.Mode).
+const (
+	ModePinned  = "pinned"  // GROUP ON column
+	ModeAuto    = "auto"    // §4.4 discovery (memo-accelerated)
+	ModeVirtual = "virtual" // §6.3.2 logistic-regression buckets
+	// Solve modes.
+	ModeConstrained = "constrained" // min cost s.t. α, β, ρ
+	ModeBudget      = "budget"      // max recall s.t. α, ρ, cost ≤ B
+	ModeJoinWeight  = "join-weight" // join-multiplicity-weighted LP
+	// Conj-waves orderings.
+	ModeQueryOrder  = "query-order" // predicates as written
+	ModeGreedyOrder = "greedy"      // cheapest-first from sampled selectivities
+	// ModeTwoPred marks conj-sample/conj-solve nodes of the §5 two-predicate
+	// shape: they describe work the fused conj-exec operator performs
+	// internally (sampling, planning and execution are one core pipeline
+	// there), so the executor skips them.
+	ModeTwoPred = "two-pred"
+)
+
+// Attr is one display attribute of a node (ordered, for stable EXPLAIN
+// output).
+type Attr struct {
+	Key, Value string
+}
+
+// Node is one plan node. Children run before the node itself; a linear
+// pipeline is a chain of single-child nodes.
+type Node struct {
+	Op   Op
+	Mode string // operator variant, one of the Mode* constants ("" when unique)
+	// Column is the node's principal column (group column, join key), when
+	// meaningful.
+	Column string
+	// Preds carries the expensive predicates a conjunction/eval node owns.
+	Preds    []Pred
+	Children []*Node
+	// EstRows is the planner's row estimate flowing out of the node;
+	// EstCost its estimated cost in cost-model units. CostIsBound marks an
+	// upper bound (printed "≤") rather than a point estimate ("≈").
+	EstRows     int
+	EstCost     float64
+	CostIsBound bool
+	// Detail holds extra display attributes.
+	Detail []Attr
+}
+
+// Child returns the single child of a pipeline node (nil when the node has
+// none).
+func (n *Node) Child() *Node {
+	if len(n.Children) == 0 {
+		return nil
+	}
+	return n.Children[0]
+}
+
+// Find returns the first node (preorder) with the given op, or nil.
+func (n *Node) Find(op Op) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Op == op {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.Find(op); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Pred is one expensive predicate udf(arg) = want with its per-invocation
+// cost o_e.
+type Pred struct {
+	UDF  string
+	Arg  string
+	Want bool
+	Cost float64
+}
+
+func (p Pred) String() string {
+	w := 0
+	if p.Want {
+		w = 1
+	}
+	return fmt.Sprintf("%s(%s)=%d", p.UDF, p.Arg, w)
+}
+
+// Approx carries the accuracy contract of an approximate query.
+type Approx struct {
+	Alpha, Beta, Rho float64
+}
+
+// Filter is a cheap equality predicate.
+type Filter struct {
+	Column, Value string
+}
+
+// Join describes the selection-before-join extension.
+type Join struct {
+	Table             string
+	Rows              int
+	LeftKey, RightKey string
+}
+
+// Spec is everything the planner needs to shape a query: the parsed query
+// plus engine-known statistics. It is the seam between the engine and this
+// package.
+type Spec struct {
+	Table   string
+	Rows    int
+	Filters []Filter
+	// Preds holds the expensive predicates, first predicate first. At least
+	// one is required.
+	Preds  []Pred
+	Approx *Approx
+	Budget float64
+	// GroupOn is "" (automatic discovery), the virtual-column marker, or a
+	// pinned column name.
+	GroupOn string
+	// VirtualName is the GroupOn value that requests the virtual column.
+	VirtualName string
+	// MemoColumn is a catalog-memoized §4.4 choice for this workload (""
+	// when unknown); discovery starts there and falls back if stale.
+	MemoColumn string
+	// Retrieve is o_r; per-predicate o_e lives on each Pred.
+	Retrieve float64
+	// LabelFraction is the §4.4 labeling fraction (for discovery cost
+	// estimates).
+	LabelFraction float64
+	// SampleNum is the Two-Third-Power allocator's num factor (2.5·α).
+	SampleNum float64
+	Join      *Join
+}
+
+// Validate checks the spec is shapeable.
+func (s Spec) Validate() error {
+	if s.Table == "" {
+		return fmt.Errorf("plan: spec without table")
+	}
+	if len(s.Preds) == 0 {
+		return fmt.Errorf("plan: spec without predicates")
+	}
+	for _, p := range s.Preds {
+		if p.UDF == "" || p.Arg == "" {
+			return fmt.Errorf("plan: predicate without UDF or argument")
+		}
+	}
+	if s.Join != nil && len(s.Preds) > 1 {
+		return fmt.Errorf("plan: join with a conjunction is not supported")
+	}
+	return nil
+}
+
+// estSampleRows estimates the Two-Third-Power allocation over n rows:
+// Fₐ = num·tₐ·n^(−1/3) sums to num·n^(2/3).
+func (s Spec) estSampleRows(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	est := int(math.Round(s.SampleNum * math.Pow(float64(n), 2.0/3.0)))
+	if est > n {
+		est = n
+	}
+	if est < 0 {
+		est = 0
+	}
+	return est
+}
+
+// estLabelRows estimates the §4.4 labeling pass size.
+func (s Spec) estLabelRows(n int) int {
+	frac := s.LabelFraction
+	if frac <= 0 {
+		frac = 0.01
+	}
+	est := int(math.Round(frac * float64(n)))
+	if est > n {
+		est = n
+	}
+	return est
+}
+
+// perRow is o_r + o_e for predicate p.
+func (s Spec) perRow(p Pred) float64 { return s.Retrieve + p.Cost }
+
+// sumEval is Σ o_e over the predicates.
+func (s Spec) sumEval() float64 {
+	total := 0.0
+	for _, p := range s.Preds {
+		total += p.Cost
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a parse (or lex) error carrying the position of the offending
+// token: 1-based line and column (bytes from the start of the line). The
+// rendered message keeps the historical "sqlparse:" prefix, so callers that
+// matched on the string keep working; structured consumers (the query
+// server returns {error, line, col} JSON) unwrap with errors.As.
+type Error struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("sqlparse: %s (line %d, col %d)", e.Msg, e.Line, e.Col)
+}
+
+// errAt builds an Error pointing at byte offset off of input.
+func errAt(input string, off int, format string, args ...any) *Error {
+	line, col := position(input, off)
+	return &Error{Msg: fmt.Sprintf(format, args...), Line: line, Col: col}
+}
+
+// position converts a byte offset into a 1-based (line, column) pair.
+// Columns count bytes from the last newline, which matches how the lexer
+// consumes its input.
+func position(input string, off int) (line, col int) {
+	if off > len(input) {
+		off = len(input)
+	}
+	if off < 0 {
+		off = 0
+	}
+	before := input[:off]
+	line = 1 + strings.Count(before, "\n")
+	if i := strings.LastIndexByte(before, '\n'); i >= 0 {
+		return line, off - i
+	}
+	return line, off + 1
+}

@@ -1,16 +1,20 @@
 // Package sqlparse implements the small SQL dialect the engine accepts:
 //
-//	SELECT <*|col,...> FROM <table>
+//	[EXPLAIN] SELECT <*|col,...> FROM <table>
 //	    [JOIN <table2> ON <leftcol> = <rightcol>]
-//	    WHERE <udf>(<col>) = <0|1>
+//	    WHERE <udf>(<col>) = <0|1> [AND <udf2>(<col2>) = <0|1> ...]
 //	    [WITH [PRECISION p] [RECALL r] [PROBABILITY q]]
 //	    [GROUP ON <col>]
 //	    [BUDGET <b>]
 //
 // The WITH clause turns on approximate evaluation; omitted bounds default
-// to 0.9. GROUP ON pins the correlated column ("virtual" requests the
-// logistic-regression virtual column); without it the engine discovers a
-// column automatically. BUDGET switches to the fixed-budget objective.
+// to 0.9. WHERE takes any number of expensive UDF predicates ANDed
+// together (plus cheap `col = literal` filters, evaluated first). GROUP ON
+// pins the correlated column ("virtual" requests the logistic-regression
+// virtual column); without it the engine discovers a column automatically.
+// BUDGET switches to the fixed-budget objective. An EXPLAIN prefix asks
+// for the physical operator tree instead of executing. Parse errors are
+// *Error values carrying the offending token's line and column.
 package sqlparse
 
 import (
@@ -62,7 +66,7 @@ func lex(input string) ([]token, error) {
 				i++
 			}
 			if i >= len(input) {
-				return nil, fmt.Errorf("sqlparse: unterminated string literal at position %d", start)
+				return nil, errAt(input, start, "unterminated string literal")
 			}
 			toks = append(toks, token{tokString, input[start+1 : i], start})
 			i++
@@ -89,7 +93,7 @@ func lex(input string) ([]token, error) {
 			}
 			toks = append(toks, token{tokNumber, input[start:i], start})
 		default:
-			return nil, fmt.Errorf("sqlparse: unexpected character %q at position %d", c, i)
+			return nil, errAt(input, i, "unexpected character %q", c)
 		}
 	}
 	toks = append(toks, token{tokEOF, "", len(input)})

@@ -1,7 +1,6 @@
 package sqlparse
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 
@@ -15,18 +14,20 @@ type JoinSpec struct {
 	RightKey string
 }
 
-// Statement is a parsed query: the engine's logical plan plus the optional
-// join clause.
+// Statement is a parsed query: the engine's logical query plus the
+// optional join clause. Explain marks an EXPLAIN-prefixed statement — the
+// caller should plan (and render) the query instead of executing it.
 type Statement struct {
-	Query engine.Query
-	Join  *JoinSpec
+	Query   engine.Query
+	Join    *JoinSpec
+	Explain bool
 }
 
 // SelectJoin assembles the engine's select-join form; valid only when a
 // JOIN clause is present.
 func (s *Statement) SelectJoin() (engine.SelectJoinQuery, error) {
 	if s.Join == nil {
-		return engine.SelectJoinQuery{}, fmt.Errorf("sqlparse: statement has no JOIN clause")
+		return engine.SelectJoinQuery{}, &Error{Msg: "statement has no JOIN clause", Line: 1, Col: 1}
 	}
 	return engine.SelectJoinQuery{
 		Query:     s.Query,
@@ -40,27 +41,35 @@ func (s *Statement) SelectJoin() (engine.SelectJoinQuery, error) {
 const DefaultBound = 0.9
 
 type parser struct {
-	toks []token
-	pos  int
+	input string
+	toks  []token
+	pos   int
 }
 
-// Parse parses one statement of the engine's SQL dialect.
+// Parse parses one statement of the engine's SQL dialect. Errors are
+// *Error values carrying the line/column of the offending token.
 func Parse(input string) (*Statement, error) {
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{input: input, toks: toks}
+	explain := false
+	if isKeyword(p.peek(), "EXPLAIN") {
+		p.next()
+		explain = true
+	}
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain = explain
 	// Optional trailing semicolon.
 	if p.peek().kind == tokSymbol && p.peek().text == ";" {
 		p.next()
 	}
 	if p.peek().kind != tokEOF {
-		return nil, fmt.Errorf("sqlparse: unexpected %s after statement", p.peek())
+		return nil, p.errf(p.peek(), "unexpected %s after statement", p.peek())
 	}
 	if err := stmt.Query.Validate(); err != nil {
 		return nil, err
@@ -78,10 +87,15 @@ func (p *parser) next() token {
 	return t
 }
 
+// errf builds a positional error pointing at token t.
+func (p *parser) errf(t token, format string, args ...any) error {
+	return errAt(p.input, t.pos, format, args...)
+}
+
 func (p *parser) expectKeyword(kw string) error {
 	t := p.next()
 	if !isKeyword(t, kw) {
-		return fmt.Errorf("sqlparse: expected %s, got %s", kw, t)
+		return p.errf(t, "expected %s, got %s", kw, t)
 	}
 	return nil
 }
@@ -89,7 +103,7 @@ func (p *parser) expectKeyword(kw string) error {
 func (p *parser) expectSymbol(sym string) error {
 	t := p.next()
 	if t.kind != tokSymbol || t.text != sym {
-		return fmt.Errorf("sqlparse: expected %q, got %s", sym, t)
+		return p.errf(t, "expected %q, got %s", sym, t)
 	}
 	return nil
 }
@@ -97,7 +111,7 @@ func (p *parser) expectSymbol(sym string) error {
 func (p *parser) ident() (string, error) {
 	t := p.next()
 	if t.kind != tokIdent {
-		return "", fmt.Errorf("sqlparse: expected identifier, got %s", t)
+		return "", p.errf(t, "expected identifier, got %s", t)
 	}
 	return t.text, nil
 }
@@ -121,11 +135,11 @@ func (p *parser) qualifiedIdent() (string, error) {
 func (p *parser) number() (float64, error) {
 	t := p.next()
 	if t.kind != tokNumber {
-		return 0, fmt.Errorf("sqlparse: expected number, got %s", t)
+		return 0, p.errf(t, "expected number, got %s", t)
 	}
 	v, err := strconv.ParseFloat(t.text, 64)
 	if err != nil {
-		return 0, fmt.Errorf("sqlparse: bad number %q: %v", t.text, err)
+		return 0, p.errf(t, "bad number %q: %v", t.text, err)
 	}
 	return v, nil
 }
@@ -183,9 +197,9 @@ func (p *parser) parseSelect() (*Statement, error) {
 	for {
 		switch {
 		case isKeyword(p.peek(), "WITH"):
-			p.next()
+			t := p.next()
 			if stmt.Query.Approx != nil {
-				return nil, fmt.Errorf("sqlparse: duplicate WITH clause")
+				return nil, p.errf(t, "duplicate WITH clause")
 			}
 			approx, err := p.parseWith()
 			if err != nil {
@@ -193,21 +207,21 @@ func (p *parser) parseSelect() (*Statement, error) {
 			}
 			stmt.Query.Approx = approx
 		case isKeyword(p.peek(), "GROUP"):
-			p.next()
+			t := p.next()
 			if err := p.expectKeyword("ON"); err != nil {
 				return nil, err
 			}
 			if stmt.Query.GroupOn != "" {
-				return nil, fmt.Errorf("sqlparse: duplicate GROUP ON clause")
+				return nil, p.errf(t, "duplicate GROUP ON clause")
 			}
 			stmt.Query.GroupOn, err = p.ident()
 			if err != nil {
 				return nil, err
 			}
 		case isKeyword(p.peek(), "BUDGET"):
-			p.next()
+			t := p.next()
 			if stmt.Query.Budget != 0 {
-				return nil, fmt.Errorf("sqlparse: duplicate BUDGET clause")
+				return nil, p.errf(t, "duplicate BUDGET clause")
 			}
 			stmt.Query.Budget, err = p.number()
 			if err != nil {
@@ -220,10 +234,12 @@ func (p *parser) parseSelect() (*Statement, error) {
 }
 
 // parseWhere parses a conjunction of predicates: expensive UDF predicates
-// `udf(col) = 0|1` (at most two — the engine's conjunction limit) and
+// `udf(col) = 0|1` (any number — one is the plain selection, two the
+// paper's §5 conjunction, three or more the N-ary greedy-wave path) and
 // cheap equality filters `col = literal` (any number; the engine pushes
 // these down and evaluates them first, per Section 5).
 func (p *parser) parseWhere(stmt *Statement) error {
+	whereTok := p.peek()
 	udfCount := 0
 	for {
 		name, err := p.ident()
@@ -243,6 +259,7 @@ func (p *parser) parseWhere(stmt *Statement) error {
 			if err := p.expectSymbol("="); err != nil {
 				return err
 			}
+			numTok := p.peek()
 			v, err := p.number()
 			if err != nil {
 				return err
@@ -254,15 +271,13 @@ func (p *parser) parseWhere(stmt *Statement) error {
 			case 1:
 				want = true
 			default:
-				return fmt.Errorf("sqlparse: UDF comparison must be = 0 or = 1, got %v", v)
+				return p.errf(numTok, "UDF comparison must be = 0 or = 1, got %v", v)
 			}
-			switch udfCount {
-			case 0:
+			if udfCount == 0 {
 				stmt.Query.UDFName, stmt.Query.UDFArg, stmt.Query.Want = name, arg, want
-			case 1:
-				stmt.Query.And = &engine.Conjunct{UDFName: name, UDFArg: arg, Want: want}
-			default:
-				return fmt.Errorf("sqlparse: at most two UDF predicates are supported")
+			} else {
+				stmt.Query.Conjuncts = append(stmt.Query.Conjuncts,
+					engine.Conjunct{UDFName: name, UDFArg: arg, Want: want})
 			}
 			udfCount++
 		} else {
@@ -290,7 +305,7 @@ func (p *parser) parseWhere(stmt *Statement) error {
 		p.next()
 	}
 	if udfCount == 0 {
-		return fmt.Errorf("sqlparse: WHERE clause needs a UDF predicate")
+		return p.errf(whereTok, "WHERE clause needs a UDF predicate")
 	}
 	return nil
 }
@@ -303,7 +318,7 @@ func (p *parser) literal() (string, error) {
 	case tokNumber, tokString, tokIdent:
 		return t.text, nil
 	default:
-		return "", fmt.Errorf("sqlparse: expected literal, got %s", t)
+		return "", p.errf(t, "expected literal, got %s", t)
 	}
 }
 
@@ -342,13 +357,14 @@ func (p *parser) parseWith() (*engine.Approx, error) {
 			field = &approx.Probability
 		default:
 			if !found {
-				return nil, fmt.Errorf("sqlparse: WITH requires at least one of PRECISION, RECALL, PROBABILITY")
+				return nil, p.errf(p.peek(), "WITH requires at least one of PRECISION, RECALL, PROBABILITY")
 			}
 			return approx, nil
 		}
-		kw := strings.ToUpper(p.next().text)
+		t := p.next()
+		kw := strings.ToUpper(t.text)
 		if seen[kw] {
-			return nil, fmt.Errorf("sqlparse: duplicate %s in WITH clause", kw)
+			return nil, p.errf(t, "duplicate %s in WITH clause", kw)
 		}
 		seen[kw] = true
 		v, err := p.number()

@@ -1,9 +1,13 @@
 package sqlparse
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
+
+// errorsAs is errors.As without the test files importing it everywhere.
+func errorsAs(err error, target **Error) bool { return errors.As(err, target) }
 
 func TestParseBasic(t *testing.T) {
 	stmt, err := Parse("SELECT * FROM loans WHERE good_credit(id) = 1")
@@ -193,8 +197,11 @@ func TestParseConjunction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	and := stmt.Query.And
-	if and == nil || and.UDFName != "safe" || and.UDFArg != "id" || !and.Want {
+	if len(stmt.Query.Conjuncts) != 1 {
+		t.Fatalf("conjuncts %+v", stmt.Query.Conjuncts)
+	}
+	and := stmt.Query.Conjuncts[0]
+	if and.UDFName != "safe" || and.UDFArg != "id" || !and.Want {
 		t.Fatalf("conjunct %+v", and)
 	}
 	if stmt.Query.UDFName != "relevant" {
@@ -207,8 +214,8 @@ func TestParseConjunctionWantZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stmt.Query.And == nil || stmt.Query.And.Want {
-		t.Fatalf("conjunct %+v", stmt.Query.And)
+	if len(stmt.Query.Conjuncts) != 1 || stmt.Query.Conjuncts[0].Want {
+		t.Fatalf("conjuncts %+v", stmt.Query.Conjuncts)
 	}
 }
 
@@ -252,9 +259,67 @@ func TestParseFilterOnlyWhereRejected(t *testing.T) {
 	}
 }
 
-func TestParseThreeUDFsRejected(t *testing.T) {
-	if _, err := Parse("SELECT * FROM t WHERE f(x) = 1 AND g(y) = 1 AND h(z) = 1"); err == nil {
-		t.Fatal("three UDF predicates accepted")
+func TestParseNaryConjunction(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE f(x) = 1 AND g(y) = 0 AND h(z) = 1 AND grade = 'A'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stmt.Query
+	if q.UDFName != "f" || len(q.Conjuncts) != 2 {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.Conjuncts[0].UDFName != "g" || q.Conjuncts[0].Want {
+		t.Fatalf("conjunct 0: %+v", q.Conjuncts[0])
+	}
+	if q.Conjuncts[1].UDFName != "h" || !q.Conjuncts[1].Want {
+		t.Fatalf("conjunct 1: %+v", q.Conjuncts[1])
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Column != "grade" {
+		t.Fatalf("filters %+v", q.Filters)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse("EXPLAIN SELECT * FROM t WHERE f(x) = 1 WITH RECALL 0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.Explain || stmt.Query.Table != "t" {
+		t.Fatalf("parsed %+v", stmt)
+	}
+	stmt, err = Parse("explain select * from t where f(x) = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.Explain {
+		t.Fatal("lowercase explain not recognized")
+	}
+	if _, err := Parse("EXPLAIN"); err == nil {
+		t.Fatal("bare EXPLAIN accepted")
+	}
+	if _, err := Parse("EXPLAIN EXPLAIN SELECT * FROM t WHERE f(x) = 1"); err == nil {
+		t.Fatal("double EXPLAIN accepted")
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	var perr *Error
+	_, err := Parse("SELECT * FROM t WHERE f(x) @ 1")
+	if !errorsAs(err, &perr) {
+		t.Fatalf("error %T is not *Error: %v", err, err)
+	}
+	if perr.Line != 1 || perr.Col != 28 {
+		t.Fatalf("position %d:%d, want 1:28 (%v)", perr.Line, perr.Col, err)
+	}
+	_, err = Parse("SELECT *\nFROM t\nWHERE f(x) = 3")
+	if !errorsAs(err, &perr) {
+		t.Fatalf("error %T is not *Error: %v", err, err)
+	}
+	if perr.Line != 3 || perr.Col != 14 {
+		t.Fatalf("position %d:%d, want 3:14 (%v)", perr.Line, perr.Col, err)
+	}
+	if !strings.Contains(err.Error(), "sqlparse:") || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("rendered error %q", err)
 	}
 }
 

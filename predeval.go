@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
@@ -247,9 +248,24 @@ func (r *Rows) RowIDs() []int { return r.ids }
 // Stats returns the execution statistics.
 func (r *Rows) Stats() Stats { return r.stats }
 
+// Explain parses a statement and returns its physical operator tree as
+// EXPLAIN text (one operator per line, with estimated costs and the chosen
+// correlated column where known) without executing anything. The EXPLAIN
+// keyword is optional — Explain("SELECT ...") and Explain("EXPLAIN
+// SELECT ...") render the same plan.
+func (db *DB) Explain(sql string) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	return db.explainStatement(stmt)
+}
+
 // Query parses and executes one statement of the SQL dialect (see the
 // package documentation and internal/sqlparse). It returns the
-// materialized result.
+// materialized result. An EXPLAIN-prefixed statement is planned instead of
+// executed: the result has a single "plan" column with one row per
+// operator line and zero-valued Stats.
 func (db *DB) Query(sql string) (*Rows, error) {
 	return db.QueryContext(context.Background(), sql)
 }
@@ -264,6 +280,13 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Rows, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
+	}
+	if stmt.Explain {
+		text, err := db.explainStatement(stmt)
+		if err != nil {
+			return nil, err
+		}
+		return planRows(text), nil
 	}
 	var res *engine.Result
 	if stmt.Join != nil {
@@ -311,8 +334,59 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Rows, error) {
 	return rows, nil
 }
 
+// explainStatement renders the plan for an already-parsed statement.
+func (db *DB) explainStatement(stmt *sqlparse.Statement) (string, error) {
+	if stmt.Join != nil {
+		sj, err := stmt.SelectJoin()
+		if err != nil {
+			return "", err
+		}
+		return db.eng.ExplainSelectJoin(sj)
+	}
+	return db.eng.Explain(stmt.Query)
+}
+
+// planRows wraps EXPLAIN text as a one-column result set (one row per
+// operator line), so EXPLAIN statements flow through Query like any other.
+func planRows(text string) *Rows {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	r := &Rows{cols: []string{"plan"}}
+	for _, line := range lines {
+		r.cells = append(r.cells, []string{line})
+	}
+	return r
+}
+
 // TableNames lists the registered tables in sorted order.
 func (db *DB) TableNames() []string { return db.eng.TableNames() }
+
+// ColumnInfo describes one column of a registered table.
+type ColumnInfo struct {
+	Name string
+	Type string
+}
+
+// TableInfo describes a registered table: its name, row count and schema.
+type TableInfo struct {
+	Name    string
+	Rows    int
+	Columns []ColumnInfo
+}
+
+// TableInfo reports the schema and row count of a registered table.
+func (db *DB) TableInfo(name string) (TableInfo, error) {
+	tbl, err := db.eng.Table(name)
+	if err != nil {
+		return TableInfo{}, err
+	}
+	info := TableInfo{Name: name, Rows: tbl.NumRows()}
+	schema := tbl.Schema()
+	for i := 0; i < schema.Len(); i++ {
+		def := schema.Col(i)
+		info.Columns = append(info.Columns, ColumnInfo{Name: def.Name, Type: def.Type.String()})
+	}
+	return info, nil
+}
 
 // NumRows reports the row count of a registered table... exposed for
 // tooling.
