@@ -38,6 +38,25 @@
 // instead of re-paying the most expensive work. GET /stats reports the
 // catalog contents and warm-start counters alongside the cross-query
 // cache hit/miss totals.
+//
+// UDF invocations are resilient: each call runs under a per-attempt
+// deadline (-udf-call-timeout) with capped exponential-backoff retries
+// (-udf-retries) and a per-(table, UDF) circuit breaker. -on-failure picks
+// what a row whose invocation ultimately fails means — fail the query
+// ("fail", default), drop the row silently ("skip"), or drop it and mark
+// the response degraded ("degrade"); a request can override per query via
+// "on_failure". Failed rows never contaminate the outcome cache, the
+// durable catalog or learned statistics. A panicking handler answers 500
+// JSON instead of killing the connection, and GET /stats carries a
+// "resilience" section: handler panics, failure/retry/breaker totals and
+// each breaker's live state.
+//
+// The -chaos-* flags wrap the registered UDF in a seeded deterministic
+// fault injector (transient errors, latency spikes, persistently
+// panicking values, scripted flapping) for end-to-end failure drills:
+//
+//	predsqld ... -on-failure degrade -udf-retries 4 \
+//	         -chaos-error-rate 0.1 -chaos-latency 5ms -chaos-latency-rate 0.05
 package main
 
 import (
@@ -50,6 +69,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,6 +79,7 @@ import (
 	"repro"
 	"repro/internal/cliutil"
 	"repro/internal/labels"
+	"repro/internal/resilience"
 	"repro/internal/sqlparse"
 )
 
@@ -76,6 +97,19 @@ func main() {
 		udfDelay      = flag.Duration("udf-delay", 0, "artificial latency per UDF call (simulates an expensive predicate)")
 		dataDir       = flag.String("data-dir", "", "durable catalog directory: UDF verdicts and learned statistics persist across restarts (empty = in-memory only)")
 		flushInterval = flag.Duration("flush-interval", 30*time.Second, "how often the catalog is flushed to disk (0 disables the periodic flush; the drain still flushes)")
+
+		onFailure      = flag.String("on-failure", "fail", "default failure policy for rows whose UDF invocation ultimately fails: fail, skip or degrade")
+		udfRetries     = flag.Int("udf-retries", 0, "max UDF invocation attempts including the first (0 = default 3)")
+		udfCallTimeout = flag.Duration("udf-call-timeout", 0, "per-attempt UDF deadline (0 = unbounded)")
+
+		chaosSeed         = flag.Uint64("chaos-seed", 0, "seed for the deterministic fault-injection schedule (0 = reuse -seed)")
+		chaosErrorRate    = flag.Float64("chaos-error-rate", 0, "per-attempt probability of an injected transient UDF error")
+		chaosPanicRate    = flag.Float64("chaos-panic-rate", 0, "per-value probability of a persistently panicking UDF body")
+		chaosLatency      = flag.Duration("chaos-latency", 0, "injected latency spike duration")
+		chaosLatencyRate  = flag.Float64("chaos-latency-rate", 0, "per-attempt probability of an injected latency spike")
+		chaosFailAttempts = flag.Int("chaos-fail-attempts", 0, "fail the first N attempts of every value (retry exerciser)")
+		chaosFlapPeriod   = flag.Int("chaos-flap-period", 0, "flap schedule period in calls (0 = no flapping)")
+		chaosFlapDown     = flag.Int("chaos-flap-down", 0, "calls failed at the start of every flap period")
 	)
 	flag.Var(&tables, "table", "name=path CSV table (repeatable)")
 	flag.Parse()
@@ -103,8 +137,43 @@ func main() {
 	if err != nil {
 		log.Fatalf("predsqld: %v", err)
 	}
+	if err := db.SetFailurePolicy(*onFailure); err != nil {
+		log.Fatalf("predsqld: %v", err)
+	}
+	db.SetRetryPolicy(resilience.Policy{
+		MaxAttempts: *udfRetries,
+		CallTimeout: *udfCallTimeout,
+	})
+
 	pred := labels.Delayed(labels.Predicate(truthLabels), *udfDelay)
-	if err := db.RegisterUDF(*udf, pred, 0); err != nil {
+	chaosCfg := resilience.ChaosConfig{
+		Seed:         *chaosSeed,
+		ErrorRate:    *chaosErrorRate,
+		PanicRate:    *chaosPanicRate,
+		Latency:      *chaosLatency,
+		LatencyRate:  *chaosLatencyRate,
+		FailAttempts: *chaosFailAttempts,
+		FlapPeriod:   *chaosFlapPeriod,
+		FlapDown:     *chaosFlapDown,
+	}
+	if chaosCfg.Seed == 0 {
+		chaosCfg.Seed = *seed
+	}
+	var chaos *resilience.Chaos
+	if chaosCfg.Enabled() {
+		// Chaos mode: the simulated predicate runs behind the seeded fault
+		// schedule, exercising retries, breakers and degradation end to end.
+		chaos = resilience.NewChaos(chaosCfg)
+		body := chaos.Wrap(func(_ context.Context, v any) (bool, error) {
+			return pred(v), nil
+		})
+		if err := db.RegisterUDFErr(*udf, body, 0); err != nil {
+			log.Fatalf("predsqld: %v", err)
+		}
+		log.Printf("predsqld: chaos injection enabled (seed=%d error-rate=%g panic-rate=%g latency=%v@%g fail-attempts=%d flap=%d/%d)",
+			chaosCfg.Seed, chaosCfg.ErrorRate, chaosCfg.PanicRate, chaosCfg.Latency, chaosCfg.LatencyRate,
+			chaosCfg.FailAttempts, chaosCfg.FlapDown, chaosCfg.FlapPeriod)
+	} else if err := db.RegisterUDF(*udf, pred, 0); err != nil {
 		log.Fatalf("predsqld: %v", err)
 	}
 
@@ -125,6 +194,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	})
+	srv.chaos = chaos
 	stopFlusher := srv.startCatalogFlusher(*flushInterval)
 	// Header/read timeouts bound connection-level stalls (slow-loris); the
 	// per-query deadline machinery only starts once a request is decoded.
@@ -196,6 +266,9 @@ type server struct {
 	cfg   serverConfig
 	sem   chan struct{}
 	start time.Time
+	// chaos, when non-nil, is the fault injector wrapped around the UDF
+	// (surfaced in GET /stats).
+	chaos *resilience.Chaos
 
 	served      atomic.Int64 // completed successfully
 	failed      atomic.Int64 // query/parse errors
@@ -203,6 +276,12 @@ type server struct {
 	rejected    atomic.Int64 // deadline expired waiting for admission
 	disconnects atomic.Int64 // client gone before the query finished
 	inflight    atomic.Int64 // currently executing (post-admission)
+	panics      atomic.Int64 // handler panics recovered by the middleware
+
+	failedRows   atomic.Int64 // UDF rows that ultimately failed, summed over queries
+	retries      atomic.Int64 // UDF retry attempts, summed over queries
+	breakerTrips atomic.Int64 // breaker trips, summed over queries
+	degraded     atomic.Int64 // queries answered with a degraded (partial) result
 
 	flushes     atomic.Int64 // completed catalog flushes
 	flushErrors atomic.Int64 // failed catalog flushes
@@ -274,7 +353,32 @@ func (s *server) handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the outermost middleware: a panicking handler answers
+// 500 with a JSON error instead of killing the connection (net/http's
+// default) — and never the server. Recovered panics are counted in
+// GET /stats. http.ErrAbortHandler keeps its conventional meaning.
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			log.Printf("predsqld: recovered handler panic on %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already started its response this
+			// write is a no-op, but the connection survives either way.
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // queryRequest is the POST /query body.
@@ -292,6 +396,9 @@ type queryRequest struct {
 	// correlated column where known) and no UDF is invoked. Equivalent to
 	// prefixing the SQL with EXPLAIN.
 	Explain bool `json:"explain"`
+	// OnFailure overrides the server's failure policy for this query:
+	// "fail", "skip" or "degrade" ("" keeps the server default).
+	OnFailure string `json:"on_failure"`
 }
 
 // queryStats mirrors predeval.Stats for the wire.
@@ -305,6 +412,9 @@ type queryStats struct {
 	AchievedRecallBound float64 `json:"achieved_recall_bound,omitempty"`
 	CacheHits           int     `json:"cache_hits"`
 	CacheMisses         int     `json:"cache_misses"`
+	FailedRows          int     `json:"failed_rows,omitempty"`
+	Retries             int     `json:"retries,omitempty"`
+	BreakerTrips        int     `json:"breaker_trips,omitempty"`
 }
 
 // queryResponse is the POST /query success payload.
@@ -314,6 +424,9 @@ type queryResponse struct {
 	RowIDs    []int      `json:"row_ids"`
 	RowCount  int        `json:"row_count"`
 	Truncated bool       `json:"truncated"`
+	// Degraded marks a partial result: the "degrade" failure policy was in
+	// effect and rows were excluded because their UDF invocation failed.
+	Degraded  bool       `json:"degraded,omitempty"`
 	Stats     queryStats `json:"stats"`
 	ElapsedMS float64    `json:"elapsed_ms"`
 }
@@ -428,7 +541,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer s.inflight.Add(-1)
 		started = time.Now()
 		defer func() { elapsed = time.Since(started) }()
-		return s.db.QueryContext(ctx, req.SQL)
+		return s.db.QueryContextOptions(ctx, req.SQL, predeval.QueryOptions{OnFailure: req.OnFailure})
 	}()
 	if err != nil {
 		switch {
@@ -473,6 +586,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out.Rows = append(out.Rows, rows.Row(i))
 	}
 	st := rows.Stats()
+	out.Degraded = st.Degraded
 	out.Stats = queryStats{
 		Evaluations:         st.Evaluations,
 		Retrievals:          st.Retrievals,
@@ -483,6 +597,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		AchievedRecallBound: st.AchievedRecallBound,
 		CacheHits:           st.CacheHits,
 		CacheMisses:         st.CacheMisses,
+		FailedRows:          st.FailedRows,
+		Retries:             st.Retries,
+		BreakerTrips:        st.BreakerTrips,
+	}
+	s.failedRows.Add(int64(st.FailedRows))
+	s.retries.Add(int64(st.Retries))
+	s.breakerTrips.Add(int64(st.BreakerTrips))
+	if st.Degraded {
+		s.degraded.Add(1)
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, out)
@@ -541,19 +664,41 @@ type catalogStats struct {
 	Recovered      bool   `json:"recovered,omitempty"`
 }
 
+// breakerStats is one circuit breaker's state in GET /stats.
+type breakerStats struct {
+	Table string `json:"table"`
+	UDF   string `json:"udf"`
+	State string `json:"state"`
+	Trips int64  `json:"trips"`
+}
+
+// resilienceStats is the failure-handling section of GET /stats:
+// recovered handler panics, UDF failure/retry/breaker totals summed over
+// all served queries, and the live state of every circuit breaker.
+type resilienceStats struct {
+	HandlerPanics   int64          `json:"handler_panics"`
+	FailedRows      int64          `json:"failed_rows"`
+	Retries         int64          `json:"retries"`
+	BreakerTrips    int64          `json:"breaker_trips"`
+	DegradedQueries int64          `json:"degraded_queries"`
+	Breakers        []breakerStats `json:"breakers,omitempty"`
+	ChaosCalls      int64          `json:"chaos_calls,omitempty"`
+}
+
 // statsResponse is the GET /stats payload.
 type statsResponse struct {
-	UptimeS       float64        `json:"uptime_s"`
-	Served        int64          `json:"served"`
-	Failed        int64          `json:"failed"`
-	Timeouts      int64          `json:"timeouts"`
-	Rejected      int64          `json:"rejected"`
-	Disconnects   int64          `json:"disconnects"`
-	InFlight      int64          `json:"in_flight"`
-	MaxConcurrent int            `json:"max_concurrent"`
-	Tables        map[string]int `json:"tables"`
-	Cache         cacheStats     `json:"cache"`
-	Catalog       *catalogStats  `json:"catalog,omitempty"`
+	UptimeS       float64         `json:"uptime_s"`
+	Served        int64           `json:"served"`
+	Failed        int64           `json:"failed"`
+	Timeouts      int64           `json:"timeouts"`
+	Rejected      int64           `json:"rejected"`
+	Disconnects   int64           `json:"disconnects"`
+	InFlight      int64           `json:"in_flight"`
+	MaxConcurrent int             `json:"max_concurrent"`
+	Tables        map[string]int  `json:"tables"`
+	Cache         cacheStats      `json:"cache"`
+	Resilience    resilienceStats `json:"resilience"`
+	Catalog       *catalogStats   `json:"catalog,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -575,6 +720,20 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		MaxConcurrent: s.cfg.MaxConcurrent,
 		Tables:        tables,
 		Cache:         cacheStats{Hits: cc.Hits, Misses: cc.Misses},
+		Resilience: resilienceStats{
+			HandlerPanics:   s.panics.Load(),
+			FailedRows:      s.failedRows.Load(),
+			Retries:         s.retries.Load(),
+			BreakerTrips:    s.breakerTrips.Load(),
+			DegradedQueries: s.degraded.Load(),
+		},
+	}
+	for _, b := range s.db.BreakerStatuses() {
+		resp.Resilience.Breakers = append(resp.Resilience.Breakers,
+			breakerStats{Table: b.Table, UDF: b.UDF, State: b.State, Trips: b.Trips})
+	}
+	if s.chaos != nil {
+		resp.Resilience.ChaosCalls = s.chaos.Calls()
 	}
 	if cat := s.db.Catalog(); cat != nil {
 		st := cat.Stats()

@@ -121,12 +121,17 @@ func LabelFractionParallelCtx(ctx context.Context, rows []int, fraction float64,
 	for j, i := range picks {
 		work[j] = rows[i]
 	}
-	verdicts, err := exec.NewPool(parallelism).EvalRowsCtx(ctx, work, udf.Eval)
+	verdicts, failed, err := EvalRowsResilient(ctx, exec.NewPool(parallelism), work, udf)
 	if err != nil {
 		return nil, err
 	}
 	labeled := make(map[int]bool, len(work))
 	for j, row := range work {
+		if failed != nil && failed[j] {
+			// A failed evaluation is no label: excluding the row keeps the
+			// discovery evidence honest under a flaky UDF.
+			continue
+		}
 		labeled[row] = verdicts[j]
 	}
 	return labeled, nil

@@ -71,24 +71,54 @@ func SampleConjunctionParallelCtx(ctx context.Context, groups []Group, targets [
 	}
 	// Evaluate: all predicates over all sampled rows as one pooled batch
 	// (predicate-major), so wide pools amortize N sequential barriers into
-	// one.
+	// one. Resilient UDFs instead run one gated batch per predicate — the
+	// breaker needs sequential fold points — and any row with a failed
+	// predicate is dropped from the sample entirely (joint statistics need
+	// every outcome of a row, so a partial row is no evidence).
 	n := len(work)
 	verdicts := make([][]bool, len(udfs))
-	for j := range verdicts {
-		verdicts[j] = make([]bool, n)
+	failedAny := make([]bool, n)
+	if anyResilient(udfs...) {
+		pool := exec.NewPool(parallelism)
+		for j := range udfs {
+			vj, fj, err := EvalRowsResilient(ctx, pool, work, udfs[j])
+			if err != nil {
+				return nil, nil, err
+			}
+			verdicts[j] = vj
+			for k := range fj {
+				if fj[k] {
+					failedAny[k] = true
+				}
+			}
+		}
+		if n == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		for j := range verdicts {
+			verdicts[j] = make([]bool, n)
+		}
+		err := exec.NewPool(parallelism).ForEachCtx(ctx, n*len(udfs), func(i int) {
+			j, k := i/n, i%n
+			verdicts[j][k] = udfs[j].Eval(work[k])
+		})
+		if n == 0 {
+			// ForEachCtx over zero items never checks ctx; normalize.
+			err = ctx.Err()
+		}
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	err := exec.NewPool(parallelism).ForEachCtx(ctx, n*len(udfs), func(i int) {
-		j, k := i/n, i%n
-		verdicts[j][k] = udfs[j].Eval(work[k])
-	})
-	if n == 0 {
-		// ForEachCtx over zero items never checks ctx; normalize.
-		err = ctx.Err()
-	}
-	if err != nil {
-		return nil, nil, err
-	}
+	kept := 0
 	for k, row := range work {
+		if failedAny[k] {
+			continue
+		}
+		kept++
 		i := groupOf[k]
 		outs := make([]bool, len(udfs))
 		all := true
@@ -111,7 +141,7 @@ func SampleConjunctionParallelCtx(ctx context.Context, groups []Group, targets [
 		for i := range samples {
 			pos += samples[i].Pos[j]
 		}
-		sels[j] = stats.NewBetaPosterior(pos, n-pos).Mean()
+		sels[j] = stats.NewBetaPosterior(pos, kept-pos).Mean()
 	}
 	return samples, sels, nil
 }
@@ -205,7 +235,9 @@ func ExecuteConjunctionWavesParallelCtx(ctx context.Context, rows []int, order [
 			slots = append(slots, slot{row: row, evalIdx: len(work)})
 			work = append(work, row)
 		}
-		verdicts, err := pool.EvalRowsCtx(ctx, work, udfs[j].Eval)
+		// Failed resilient evaluations carry verdict false, so failed rows
+		// simply do not survive the wave.
+		verdicts, _, err := EvalRowsResilient(ctx, pool, work, udfs[j])
 		if err != nil {
 			return ConjWavesResult{}, err
 		}

@@ -120,8 +120,10 @@ func ExecuteParallelCtx(ctx context.Context, groups []Group, s Strategy, samples
 		}
 	}
 
-	// Evaluate: fan the expensive calls out, then merge in plan order.
-	verdicts, err := exec.NewPool(parallelism).EvalRowsCtx(ctx, work, udf.Eval)
+	// Evaluate: fan the expensive calls out, then merge in plan order. A
+	// failed resilient evaluation carries verdict false, so failed rows are
+	// excluded from the output below without extra bookkeeping.
+	verdicts, _, err := EvalRowsResilient(ctx, exec.NewPool(parallelism), work, udf)
 	if err != nil {
 		return ExecResult{}, err
 	}

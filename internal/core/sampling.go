@@ -216,7 +216,11 @@ func (s *Sampler) TopUpCtx(ctx context.Context, targets []int) (int, error) {
 		take[i] = want
 	}
 	// Evaluate in parallel; commit (pop + record) only on full success.
-	verdicts, err := exec.NewPool(s.parallelism).EvalRowsCtx(ctx, work, s.udf.Eval)
+	// Rows whose resilient evaluation failed are popped (so they are not
+	// endlessly re-planned) but recorded as NOTHING: failed invocations
+	// must never become sampling evidence, and a later top-up to the same
+	// target simply samples replacement rows.
+	verdicts, failed, err := EvalRowsResilient(ctx, exec.NewPool(s.parallelism), work, s.udf)
 	if err != nil {
 		return 0, err
 	}
@@ -224,6 +228,9 @@ func (s *Sampler) TopUpCtx(ctx context.Context, targets []int) (int, error) {
 		s.unsampled[i] = s.unsampled[i][:len(s.unsampled[i])-k]
 	}
 	for k, row := range work {
+		if failed != nil && failed[k] {
+			continue
+		}
 		i := groupOf[k]
 		s.outcomes[i].Results[row] = verdicts[k]
 		if verdicts[k] {

@@ -64,11 +64,17 @@ func SampleTwoPredicatesParallelCtx(ctx context.Context, groups []Group, targets
 	// short-circuits: joint selectivities need both outcomes). The two
 	// lists are independent, so they run fused as one wave — two
 	// sequential barriers would double the latency for I/O-bound UDFs.
-	v1s, v2s, err := evalFused(ctx, work, udf1, work, udf2, parallelism)
+	// A row with a failed resilient evaluation under either predicate is
+	// dropped from the sample entirely: joint statistics need both
+	// outcomes, so a partial row is no evidence.
+	v1s, f1s, v2s, f2s, err := evalFused(ctx, work, udf1, work, udf2, parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
 	for k, row := range work {
+		if (f1s != nil && f1s[k]) || (f2s != nil && f2s[k]) {
+			continue
+		}
 		i := groupOf[k]
 		v1, v2 := v1s[k], v2s[k]
 		samples[i].Results[row] = [2]bool{v1, v2}
@@ -94,14 +100,28 @@ func SampleTwoPredicatesParallelCtx(ctx context.Context, groups []Group, targets
 }
 
 // evalFused evaluates two independent work-lists (rows1 under udf1, rows2
-// under udf2) as a single pooled batch, returning each list's verdicts in
+// under udf2) as a single pooled batch, returning each list's verdicts
+// (and, for resilient UDFs, per-row failure flags — nil otherwise) in
 // order. One batch instead of two sequential barriers halves wall-clock
-// latency when the pool is wider than either list alone. A cancel returns
-// (nil, nil, ctx.Err()).
-func evalFused(ctx context.Context, rows1 []int, udf1 UDF, rows2 []int, udf2 UDF, parallelism int) ([]bool, []bool, error) {
-	v1 := make([]bool, len(rows1))
-	v2 := make([]bool, len(rows2))
-	err := exec.NewPool(parallelism).ForEachCtx(ctx, len(rows1)+len(rows2), func(i int) {
+// latency when the pool is wider than either list alone; resilient UDFs
+// instead run one gated batch per predicate, since the breaker needs
+// sequential fold points. A cancel returns ctx.Err() with all slices nil.
+func evalFused(ctx context.Context, rows1 []int, udf1 UDF, rows2 []int, udf2 UDF, parallelism int) (v1, f1, v2, f2 []bool, err error) {
+	if anyResilient(udf1, udf2) {
+		pool := exec.NewPool(parallelism)
+		v1, f1, err = EvalRowsResilient(ctx, pool, rows1, udf1)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		v2, f2, err = EvalRowsResilient(ctx, pool, rows2, udf2)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return v1, f1, v2, f2, nil
+	}
+	v1 = make([]bool, len(rows1))
+	v2 = make([]bool, len(rows2))
+	err = exec.NewPool(parallelism).ForEachCtx(ctx, len(rows1)+len(rows2), func(i int) {
 		if i < len(rows1) {
 			v1[i] = udf1.Eval(rows1[i])
 		} else {
@@ -109,9 +129,9 @@ func evalFused(ctx context.Context, rows1 []int, udf1 UDF, rows2 []int, udf2 UDF
 		}
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return v1, v2, nil
+	return v1, nil, v2, nil, nil
 }
 
 // TwoPredExecResult is the outcome of executing a two-predicate plan.
@@ -220,8 +240,10 @@ func ExecuteTwoPredicatesParallelCtx(ctx context.Context, groups []Group, acts [
 	}
 
 	// Wave 1: every needed f1 call plus the unconditional f2 calls, fused
-	// into one batch since the two lists are independent.
-	v1, v2, err := evalFused(ctx, work1, udf1, work2, udf2, parallelism)
+	// into one batch since the two lists are independent. Failed resilient
+	// evaluations carry verdict false, so failed rows drop out of the
+	// output (and, for TPEvalBoth, never reach the f2 wave).
+	v1, _, v2, _, err := evalFused(ctx, work1, udf1, work2, udf2, parallelism)
 	if err != nil {
 		return TwoPredExecResult{}, err
 	}
@@ -240,7 +262,7 @@ func ExecuteTwoPredicatesParallelCtx(ctx context.Context, groups []Group, acts [
 			sl.idx2 = -1
 		}
 	}
-	v2b, err := exec.NewPool(parallelism).EvalRowsCtx(ctx, work2b, udf2.Eval)
+	v2b, _, err := EvalRowsResilient(ctx, exec.NewPool(parallelism), work2b, udf2)
 	if err != nil {
 		return TwoPredExecResult{}, err
 	}

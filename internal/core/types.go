@@ -23,12 +23,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/stats"
 )
 
@@ -349,6 +351,14 @@ type Meter struct {
 	udf    UDF
 	calls  atomic.Int64
 	shared EvalCache // may be nil
+	// fudf, when non-nil, makes the meter resilient: evaluation goes
+	// through the fallible path (see resilient.go), failed rows are
+	// memoized as failed-final, never charged, never cached, and reported
+	// once through onFailure. gate, when non-nil, is the circuit breaker
+	// consulted by gated batch evaluation.
+	fudf      FallibleUDF
+	gate      exec.Gate
+	onFailure func(row int, err error)
 	// cacheHits / cacheMisses count shared-cache lookups (zero when shared
 	// is nil). Single-flight guarantees at most one lookup per row, so both
 	// are deterministic at any parallelism level.
@@ -361,12 +371,16 @@ type Meter struct {
 
 // meterEntry is a single-flight slot: the first goroutine to claim a row
 // evaluates it and closes done; later arrivals wait on done. failed marks
-// an evaluation that panicked (written before done closes): waiters retry
-// instead of trusting the zero-value verdict.
+// an evaluation that panicked or was cancelled (written before done
+// closes): waiters retry instead of trusting the zero-value verdict.
+// errFinal marks a resilient evaluation that ultimately failed (after its
+// own retries): the row stays memoized as failed for the meter's lifetime,
+// so every phase of a query sees the same rows excluded.
 type meterEntry struct {
-	done   chan struct{}
-	val    bool
-	failed bool
+	done     chan struct{}
+	val      bool
+	failed   bool
+	errFinal bool
 }
 
 // NewMeter wraps udf with call counting and memoization.
@@ -383,8 +397,15 @@ func NewCachedMeter(udf UDF, cache EvalCache) *Meter {
 	return m
 }
 
-// Eval implements UDF, charging only the first evaluation per row.
+// Eval implements UDF, charging only the first evaluation per row. On a
+// resilient meter a row whose evaluation ultimately failed reports false
+// (the failure was already delivered through onFailure); prefer
+// EvalRowsResilient for batch paths that need the per-row failure flags.
 func (m *Meter) Eval(row int) bool {
+	if m.fudf != nil {
+		v, _ := m.EvalFallible(context.Background(), row)
+		return v
+	}
 	var e *meterEntry
 	for {
 		m.mu.Lock()

@@ -87,20 +87,6 @@ func (c faultGatedCache) Store(row int, v bool) {
 	}
 }
 
-// meterForPred wraps one predicate's row UDF in a fresh per-query Meter,
-// backed by the engine's cross-query outcome cache unless CacheUDFResults
-// is off.
-func (e *Engine) meterForPred(tableName string, p Conjunct, udf core.UDF, fault *udfFault) *core.Meter {
-	if !e.CacheUDFResults {
-		return core.NewMeter(udf)
-	}
-	key := evalCacheKey{table: tableName, udf: p.UDFName, column: p.UDFArg}
-	return core.NewCachedMeter(udf, faultGatedCache{
-		inner: wantFoldedCache{inner: e.evalCache(key), want: p.Want},
-		fault: fault,
-	})
-}
-
 // InvalidateUDFCache drops every cached outcome (all tables and UDFs).
 func (e *Engine) InvalidateUDFCache() {
 	e.cacheMu.Lock()

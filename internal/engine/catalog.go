@@ -26,7 +26,12 @@ import (
 // Writes go to the catalog's memory as queries finish; FlushCatalog (or a
 // server's periodic flush) makes them durable. Catalog writes are gated on
 // the query's UDF fault state: a panicking UDF yields synthetic verdicts
-// that must never become durable facts.
+// that must never become durable facts. The same hygiene extends
+// structurally to per-row failures under the skip/degrade policies: a row
+// whose invocation ultimately fails (retries exhausted, breaker denial) is
+// excluded from the eval cache, sampler evidence and output before any of
+// the snapshots below are taken, so no failed row is ever persisted as a
+// verdict or a sampling fact.
 //
 // Like Parallelism, attach the catalog before serving queries.
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/ml"
 	"repro/internal/plan"
+	"repro/internal/resilience"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
@@ -49,8 +50,24 @@ type Engine struct {
 	// outcome cache: rows evaluated by one query are never re-paid by a
 	// later one. On by default; set before serving queries. See cache.go.
 	CacheUDFResults bool
+	// Retry tunes per-invocation retry/backoff and the per-call deadline
+	// (see resilience.Policy; the zero value means 3 attempts, 1ms..50ms
+	// capped exponential backoff, no deadline). The jitter seed defaults to
+	// the engine seed. Set before serving queries.
+	Retry resilience.Policy
+	// Breaker tunes the per-(table, UDF) circuit breakers (the zero value
+	// uses the documented defaults). Set before serving queries; existing
+	// breakers keep the config they were created with.
+	Breaker resilience.BreakerConfig
+	// OnFailure is the default failure policy for queries that do not set
+	// their own ("" means FailOnError). See resilience.go.
+	OnFailure FailurePolicy
 
-	rng *stats.RNG
+	rng  *stats.RNG
+	seed uint64
+
+	breakerMu sync.Mutex
+	breakers  map[breakerKey]*resilience.Breaker
 
 	cacheMu    sync.Mutex
 	evalCaches map[evalCacheKey]*core.SharedEvalCache
@@ -91,6 +108,8 @@ func New(seed uint64) *Engine {
 		Parallelism:             runtime.GOMAXPROCS(0),
 		CacheUDFResults:         true,
 		rng:                     stats.NewRNG(seed),
+		seed:                    seed,
+		breakers:                make(map[breakerKey]*resilience.Breaker),
 		evalCaches:              make(map[evalCacheKey]*core.SharedEvalCache),
 		flushedLens:             make(map[evalCacheKey]int),
 	}
@@ -248,6 +267,17 @@ func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoin
 	if err != nil {
 		return nil, err
 	}
+	// Trip baselines for the breakers this statement touches (deduped by
+	// pointer — duplicate predicates share one breaker), so Stats can report
+	// the trips THIS statement caused, not the engine-lifetime totals.
+	baselines := make(map[*resilience.Breaker]int64)
+	for _, p := range st.preds {
+		if b, ok := p.meter.Gate().(*resilience.Breaker); ok && b != nil {
+			if _, seen := baselines[b]; !seen {
+				baselines[b] = b.Trips()
+			}
+		}
+	}
 	// Captured before any evaluation: if a UDF body is replaced while this
 	// query runs, its learnings are not persisted (see persistQueryLearnings).
 	st.epoch = e.invalidations.Load()
@@ -265,6 +295,19 @@ func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoin
 		if err := p.fault.Err(); err != nil {
 			return nil, err
 		}
+	}
+	// Resilience accounting: failed rows and retries from the per-predicate
+	// sinks, breaker trips as deltas against the captured baselines.
+	for _, p := range st.preds {
+		f, r := p.sink.counts()
+		st.res.Stats.FailedRows += f
+		st.res.Stats.Retries += r
+	}
+	for b, base := range baselines {
+		st.res.Stats.BreakerTrips += int(b.Trips() - base)
+	}
+	if e.policyFor(q) == DegradeFailed && st.res.Stats.FailedRows > 0 {
+		st.res.Stats.Degraded = true
 	}
 	e.cacheHits.Add(int64(st.res.Stats.CacheHits))
 	e.cacheMisses.Add(int64(st.res.Stats.CacheMisses))

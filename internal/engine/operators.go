@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/resilience"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
@@ -20,13 +21,13 @@ import (
 // splits happen in the same order, meters charge the same rows, and Stats
 // are assembled with the same formulas.
 
-// resolvedPred is one expensive predicate bound to the engine: the raw UDF
-// wrapper (panic-capturing), its fault box, its metered (and usually
+// resolvedPred is one expensive predicate bound to the engine: its fault
+// box, its failure-telemetry sink, its metered (resilient, usually
 // cache-backed) evaluator, and its effective o_e.
 type resolvedPred struct {
 	spec  Conjunct
-	udf   core.UDF
 	fault *udfFault
+	sink  *predSink
 	meter *core.Meter
 	cost  float64
 }
@@ -109,21 +110,39 @@ func (e *Engine) bindStatement(q Query, join *SelectJoinQuery) (*pipeState, erro
 	return st, nil
 }
 
-// resolvePreds binds every predicate of the query: the UDF wrapper, its
-// fault box and its meter. In approximate conjunctions, a predicate whose
-// (UDF, argument) key collides with an earlier one gets a private meter:
-// two meters sharing one cache while sampling evaluates both predicates
-// concurrently over the same rows would make the charged-call split depend
-// on store timing. Exact conjunctions keep the shared cache even for
-// duplicates — their waves are sequential barriers, so the later
-// predicate's lookups deterministically hit what the earlier one stored.
+// resolvePreds binds every predicate of the query: its row invoker (panic
+// capture + retry + deadline, see resilience.go), fault box, telemetry
+// sink, shared circuit breaker and resilient meter. In approximate
+// conjunctions, a predicate whose (UDF, argument) key collides with an
+// earlier one gets a private (cache-less) meter: two meters sharing one
+// cache while sampling evaluates both predicates concurrently over the same
+// rows would make the charged-call split depend on store timing. Exact
+// conjunctions keep the shared cache even for duplicates — their waves are
+// sequential barriers, so the later predicate's lookups deterministically
+// hit what the earlier one stored.
 func (e *Engine) resolvePreds(tbl *table.Table, q Query) ([]resolvedPred, error) {
+	policy := e.policyFor(q)
 	specs := q.predicates()
 	preds := make([]resolvedPred, len(specs))
 	for i, p := range specs {
-		udf, fault, err := e.rowUDFPred(tbl, q.Table, p)
+		u, err := e.registry.Lookup(p.UDFName)
 		if err != nil {
 			return nil, err
+		}
+		col := tbl.ColumnByName(p.UDFArg)
+		if col == nil {
+			return nil, fmt.Errorf("engine: table %q has no column %q for UDF argument", q.Table, p.UDFArg)
+		}
+		fault := &udfFault{}
+		sink := &predSink{}
+		inv := &rowInvoker{
+			udfName: p.UDFName,
+			body:    u.fallible(),
+			col:     col,
+			want:    p.Want,
+			policy:  e.retryPolicy(),
+			key:     resilience.HashString(q.Table + "\x00" + p.UDFName + "\x00" + p.UDFArg),
+			sink:    sink,
 		}
 		private := false
 		for j := 0; q.Approx != nil && j < i; j++ {
@@ -132,39 +151,19 @@ func (e *Engine) resolvePreds(tbl *table.Table, q Query) ([]resolvedPred, error)
 				break
 			}
 		}
-		var meter *core.Meter
-		if private {
-			meter = core.NewMeter(udf)
-		} else {
-			meter = e.meterForPred(q.Table, p, udf, fault)
+		var cache core.EvalCache
+		if !private && e.CacheUDFResults {
+			key := evalCacheKey{table: q.Table, udf: p.UDFName, column: p.UDFArg}
+			cache = faultGatedCache{
+				inner: wantFoldedCache{inner: e.evalCache(key), want: p.Want},
+				fault: fault,
+			}
 		}
-		preds[i] = resolvedPred{spec: p, udf: udf, fault: fault, meter: meter, cost: e.predCost(p)}
+		meter := core.NewResilientMeter(inv, cache, e.breakerFor(q.Table, p.UDFName),
+			failureHandler(p.UDFName, policy, fault, sink))
+		preds[i] = resolvedPred{spec: p, fault: fault, sink: sink, meter: meter, cost: e.predCost(p)}
 	}
 	return preds, nil
-}
-
-// rowUDFPred adapts a registered UDF to the core row-based interface for
-// one predicate, honoring its "= 0/1" comparison. Panics inside the UDF
-// body are captured into the returned fault.
-func (e *Engine) rowUDFPred(tbl *table.Table, tableName string, p Conjunct) (core.UDF, *udfFault, error) {
-	u, err := e.registry.Lookup(p.UDFName)
-	if err != nil {
-		return nil, nil, err
-	}
-	col := tbl.ColumnByName(p.UDFArg)
-	if col == nil {
-		return nil, nil, fmt.Errorf("engine: table %q has no column %q for UDF argument", tableName, p.UDFArg)
-	}
-	fault := &udfFault{}
-	return core.UDFFunc(func(row int) (result bool) {
-		defer func() {
-			if r := recover(); r != nil {
-				fault.record(fmt.Errorf("engine: UDF %q panicked on row %d: %v", p.UDFName, row, r))
-				result = false
-			}
-		}()
-		return u.Body(col.Value(row)) == p.Want
-	}), fault, nil
 }
 
 // runNode executes a physical plan node: children first (pipeline tail),
@@ -395,12 +394,14 @@ func (e *Engine) opMerge(st *pipeState) error {
 }
 
 // opExactEval evaluates the predicate on every row of the scan. The batch
-// fans out across the engine's worker pool; verdicts land at their scan
-// index, so the output order matches the sequential scan exactly.
+// fans out across the engine's worker pool (gated by the predicate's
+// circuit breaker); verdicts land at their scan index, so the output order
+// matches the sequential scan exactly. Rows whose invocation failed carry
+// verdict false and drop out of the result.
 func (e *Engine) opExactEval(ctx context.Context, st *pipeState) error {
 	meter := st.preds[0].meter
 	scan := universe(st.tbl, st.subset)
-	verdicts, err := e.pool().EvalRowsCtx(ctx, scan, meter.Eval)
+	verdicts, _, err := core.EvalRowsResilient(ctx, e.pool(), scan, meter)
 	if err != nil {
 		return err
 	}

@@ -53,6 +53,12 @@ type Query struct {
 	Conjuncts []Conjunct
 	// Filters are cheap equality predicates evaluated before any UDF work.
 	Filters []Filter
+	// OnFailure decides what a row whose UDF invocation ultimately fails
+	// (after retries, or denied by an open circuit breaker) means: fail the
+	// query (FailOnError, the default), silently exclude the row
+	// (SkipFailed), or exclude it and mark the result degraded
+	// (DegradeFailed). "" defers to the engine default.
+	OnFailure FailurePolicy
 }
 
 // Conjunct is one additional expensive predicate of a conjunction.
@@ -109,6 +115,9 @@ func (q Query) Validate() error {
 	if len(q.Conjuncts) > 0 && q.Budget > 0 {
 		return fmt.Errorf("engine: BUDGET is not supported with AND conjunctions")
 	}
+	if _, err := ParseFailurePolicy(string(q.OnFailure)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -137,6 +146,20 @@ type Stats struct {
 	// CacheMisses counts cache lookups this query paid for with a fresh
 	// UDF invocation. Zero when the cache is disabled.
 	CacheMisses int
+	// FailedRows counts rows whose UDF invocation ultimately failed (after
+	// retries, or denied by an open circuit breaker), summed per predicate:
+	// a row failing under two predicates counts twice. Failed rows are
+	// excluded from the output and from all learned evidence.
+	FailedRows int
+	// Retries counts the extra UDF invocation attempts retries made beyond
+	// each row's first.
+	Retries int
+	// BreakerTrips counts how many times this query tripped a circuit
+	// breaker open.
+	BreakerTrips int
+	// Degraded marks a partial result: the failure policy was "degrade"
+	// and at least one row was excluded because its UDF invocation failed.
+	Degraded bool
 }
 
 // Result is a query's output: the matching row ids of the base table (so

@@ -25,10 +25,26 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is what the pool re-panics with when a work item panics: the
+// original panic value plus the stack of the panicking goroutine, captured
+// inside the worker's recover (before the frames unwind), so post-mortems
+// point at the UDF body rather than at the pool's re-panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value with its originating stack.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n\n%s", p.Value, p.Stack)
+}
 
 // Pool runs batches of independent work items on up to a fixed number of
 // concurrent workers. The zero value is not useful; use NewPool. A Pool is
@@ -58,7 +74,8 @@ func (p *Pool) Workers() int { return p.workers }
 // fn must be safe for concurrent invocation when the pool's parallelism
 // exceeds 1. If any invocation panics, no further chunks are claimed
 // (in-flight chunks on other workers still finish) and the first captured
-// panic value is re-panicked on the calling goroutine.
+// panic is re-panicked on the calling goroutine as a *PanicError carrying
+// the original value and the panicking goroutine's stack.
 func (p *Pool) ForEach(n int, fn func(i int)) {
 	// context.Background() is never cancelled, so the error is always nil.
 	_ = p.ForEachCtx(context.Background(), n, fn)
@@ -84,7 +101,7 @@ func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			runOne(i, fn)
 		}
 		return nil
 	}
@@ -137,12 +154,32 @@ func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
 	return nil
 }
 
+// runOne invokes one item on the calling goroutine, wrapping any panic in
+// a *PanicError so sequential and parallel batches re-panic identically.
+func runOne(i int, fn func(int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, wrapped := r.(*PanicError); !wrapped {
+				r = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			panic(r)
+		}
+	}()
+	fn(i)
+}
+
 // runChunk executes one claimed chunk, checking the context before every
 // item and recording the first panic; it reports whether the worker should
 // keep claiming work.
 func runChunk(ctx context.Context, start, end int, fn func(int), cancelled *atomic.Bool, mu *sync.Mutex, first *any, count *int) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			// Wrap with the panicking goroutine's stack (still intact here:
+			// deferred recovery runs before the frames unwind). Nested pools
+			// re-panic a *PanicError that is passed through untouched.
+			if _, wrapped := r.(*PanicError); !wrapped {
+				r = &PanicError{Value: r, Stack: debug.Stack()}
+			}
 			mu.Lock()
 			if *count == 0 {
 				*first = r

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -65,9 +66,20 @@ func TestForEachPanicPropagates(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		func() {
 			defer func() {
-				r := recover()
-				if r != "boom" {
-					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				pe, ok := recover().(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered non-PanicError", workers)
+				}
+				if pe.Value != "boom" {
+					t.Fatalf("workers=%d: panic value %v, want boom", workers, pe.Value)
+				}
+				// The stack must point at the panicking work item, not at
+				// the pool's re-panic site.
+				if !strings.Contains(string(pe.Stack), "TestForEachPanicPropagates") {
+					t.Fatalf("workers=%d: stack does not reach the panicking fn:\n%s", workers, pe.Stack)
+				}
+				if !strings.Contains(pe.Error(), "boom") {
+					t.Fatalf("workers=%d: Error() lost the panic value: %q", workers, pe.Error())
 				}
 			}()
 			NewPool(workers).ForEach(100, func(i int) {

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/resilience"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
 )
@@ -196,6 +197,59 @@ func (db *DB) RegisterUDF(name string, fn func(value any) bool, cost float64) er
 	})
 }
 
+// RegisterUDFErr registers a fallible expensive predicate: one that may
+// return an error (remote service failure, timeout) instead of panicking.
+// Invocations run under the DB's retry policy (SetRetryPolicy) behind a
+// per-(table, UDF) circuit breaker; what a row whose invocation ultimately
+// fails means is decided by the failure policy (SetFailurePolicy, or
+// per-query options). Plain returned errors are treated as transient and
+// retried; wrap them in *resilience.Error to control classification. The
+// context carries the per-call deadline — bodies that honor it return
+// promptly on cancellation.
+func (db *DB) RegisterUDFErr(name string, fn func(ctx context.Context, value any) (bool, error), cost float64) error {
+	if fn == nil {
+		return fmt.Errorf("predeval: nil UDF %q", name)
+	}
+	return db.eng.RegisterUDF(engine.UDF{
+		Name:    name,
+		BodyErr: func(ctx context.Context, v table.Value) (bool, error) { return fn(ctx, v) },
+		Cost:    cost,
+	})
+}
+
+// SetRetryPolicy tunes retry/backoff and the per-call deadline for UDF
+// invocations (the zero value means 3 attempts, 1ms..50ms capped
+// exponential backoff, no deadline). Backoff jitter is a pure hash seeded
+// from the DB seed, so retry schedules are deterministic. Configure before
+// serving queries (see SetParallelism).
+func (db *DB) SetRetryPolicy(p resilience.Policy) { db.eng.Retry = p }
+
+// SetBreakerConfig tunes the per-(table, UDF) circuit breakers (the zero
+// value uses the documented defaults). Configure before serving queries;
+// breakers already created keep their config.
+func (db *DB) SetBreakerConfig(c resilience.BreakerConfig) { db.eng.Breaker = c }
+
+// SetFailurePolicy sets the default failure policy for queries that do not
+// carry their own: "fail" (default — a failed row fails the query once
+// execution finishes), "skip" (failed rows are silently excluded) or
+// "degrade" (excluded and the result is marked Degraded). Configure before
+// serving queries.
+func (db *DB) SetFailurePolicy(policy string) error {
+	p, err := engine.ParseFailurePolicy(policy)
+	if err != nil {
+		return err
+	}
+	db.eng.OnFailure = p
+	return nil
+}
+
+// BreakerStatus is one circuit breaker's observable state.
+type BreakerStatus = engine.BreakerStatus
+
+// BreakerStatuses reports every circuit breaker the DB has created, in
+// (table, UDF) order.
+func (db *DB) BreakerStatuses() []BreakerStatus { return db.eng.BreakerStatuses() }
+
 // Stats summarizes how a query spent its cost budget.
 type Stats struct {
 	// Evaluations is the number of UDF invocations made.
@@ -222,6 +276,16 @@ type Stats struct {
 	// CacheMisses counts cache lookups that fell through to a paid UDF
 	// invocation. Zero when the cache is disabled.
 	CacheMisses int
+	// FailedRows counts rows excluded because their UDF invocation
+	// ultimately failed (after retries, or denied by an open breaker),
+	// summed per predicate.
+	FailedRows int
+	// Retries counts extra UDF invocation attempts beyond each row's first.
+	Retries int
+	// BreakerTrips counts circuit-breaker trips this query caused.
+	BreakerTrips int
+	// Degraded marks a partial result under the "degrade" failure policy.
+	Degraded bool
 }
 
 // Rows is a materialized query result.
@@ -277,9 +341,29 @@ func (db *DB) Query(sql string) (*Rows, error) {
 // before the cancel stays in the cross-query cache, so re-running the query
 // resumes from paid-for work. See DESIGN.md, "Cancellation contract".
 func (db *DB) QueryContext(ctx context.Context, sql string) (*Rows, error) {
+	return db.QueryContextOptions(ctx, sql, QueryOptions{})
+}
+
+// QueryOptions carries per-query execution options that have no SQL
+// surface.
+type QueryOptions struct {
+	// OnFailure overrides the DB's failure policy for this query: "fail",
+	// "skip" or "degrade" ("" keeps the DB default). See SetFailurePolicy.
+	OnFailure string
+}
+
+// QueryContextOptions is QueryContext with per-query options.
+func (db *DB) QueryContextOptions(ctx context.Context, sql string, opts QueryOptions) (*Rows, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
+	}
+	if opts.OnFailure != "" {
+		policy, err := engine.ParseFailurePolicy(opts.OnFailure)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Query.OnFailure = policy
 	}
 	if stmt.Explain {
 		text, err := db.explainStatement(stmt)
@@ -321,6 +405,10 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Rows, error) {
 			AchievedRecallBound: res.Stats.AchievedRecallBound,
 			CacheHits:           res.Stats.CacheHits,
 			CacheMisses:         res.Stats.CacheMisses,
+			FailedRows:          res.Stats.FailedRows,
+			Retries:             res.Stats.Retries,
+			BreakerTrips:        res.Stats.BreakerTrips,
+			Degraded:            res.Stats.Degraded,
 		},
 	}
 	rows.cells = make([][]string, out.NumRows())
