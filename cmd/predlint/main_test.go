@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// writeModule lays out a throwaway module named like this repo (the
+// default targets key off the module path) and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module repro\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestSeededViolationFailsLint is the acceptance check from the issue:
+// planting a `go` statement in internal/core must fail the lint.
+func TestSeededViolationFailsLint(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+func leak(ch chan int) {
+	go func() { ch <- 1 }()
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[gospawn]") {
+		t.Errorf("stdout does not report the gospawn finding:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "predlint: 1 findings") {
+		t.Errorf("stderr summary missing:\n%s", stderr.String())
+	}
+}
+
+// TestDirectiveSuppressesSeededViolation: the same violation under a
+// well-formed //predlint:allow passes, and the summary counts it.
+func TestDirectiveSuppressesSeededViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/allowed.go": `package core
+
+func leak(ch chan int) {
+	//predlint:allow gospawn — exercising suppression in a driver test
+	go func() { ch <- 1 }()
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "1 suppressed by 1 directives") {
+		t.Errorf("stderr summary does not count the suppression:\n%s", stderr.String())
+	}
+}
+
+// TestReasonlessDirectiveStillFails: a directive without a reason is
+// itself a finding, so it cannot be used to sneak a violation through.
+func TestReasonlessDirectiveStillFails(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/sneaky.go": `package core
+
+func leak(ch chan int) {
+	//predlint:allow gospawn
+	go func() { ch <- 1 }()
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "without a reason") {
+		t.Errorf("stdout does not report the reasonless directive:\n%s", stdout.String())
+	}
+}
+
+// TestJSONOutput: -json emits a parseable lint.Result on stdout.
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+func leak(ch chan int) {
+	go func() { ch <- 1 }()
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var res lint.Result
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Analyzer != "gospawn" {
+		t.Errorf("findings = %+v, want one gospawn finding", res.Findings)
+	}
+	if res.Findings[0].File != filepath.Join("internal", "core", "bad.go") {
+		t.Errorf("finding file = %q, want module-relative path", res.Findings[0].File)
+	}
+	if len(res.Analyzers) != 6 {
+		t.Errorf("analyzers = %v, want the 6-analyzer suite", res.Analyzers)
+	}
+}
+
+// TestListFlag: -list describes the suite without loading packages.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"atomicwrite", "ctxflow", "detrand", "errtaxonomy", "gospawn", "maporder"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestRepositoryIsClean runs the real suite over the real tree — the same
+// invocation CI blocks on. Skipped under -short (it type-checks the whole
+// module).
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint is not a short test")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("predlint over the repository exits %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "predlint: 0 findings") {
+		t.Errorf("summary does not report a clean tree:\n%s", stderr.String())
+	}
+}

@@ -106,6 +106,8 @@ func LabelFraction(rows []int, fraction float64, udf UDF, rng Labeler) map[int]b
 // up to `parallelism` workers (≤ 0 means GOMAXPROCS). The sample is drawn
 // from the RNG before any evaluation starts, so the labeled set — and the
 // RNG stream seen by later phases — is identical at any parallelism level.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use LabelFractionParallelCtx
 func LabelFractionParallel(rows []int, fraction float64, udf UDF, rng Labeler, parallelism int) map[int]bool {
 	labeled, _ := LabelFractionParallelCtx(context.Background(), rows, fraction, udf, rng, parallelism)
 	return labeled

@@ -65,6 +65,8 @@ type execSlot struct {
 // membership. The RNG drives the per-tuple coins; all draws happen in the
 // sequential plan phase, so results are identical at every parallelism
 // level.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use ExecuteParallelCtx
 func ExecuteParallel(groups []Group, s Strategy, samples []SampleOutcome, udf UDF, cost CostModel, rng *stats.RNG, parallelism int) (ExecResult, error) {
 	return ExecuteParallelCtx(context.Background(), groups, s, samples, udf, cost, rng, parallelism)
 }

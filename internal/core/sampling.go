@@ -183,6 +183,8 @@ func (s *Sampler) SeedPrior(known map[int]bool) int {
 // over the whole batch on up to SetParallelism workers, and outcomes are
 // recorded in pop order — so the sampler's state after TopUp is identical
 // at any parallelism level.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use TopUpCtx
 func (s *Sampler) TopUp(targets []int) (int, error) {
 	return s.TopUpCtx(context.Background(), targets)
 }

@@ -34,6 +34,8 @@ func SampleTwoPredicates(groups []Group, targets []int, udf1, udf2 UDF, rng *sta
 // evaluations fanned across up to `parallelism` workers. All sampled rows
 // are drawn from the RNG up front (sequentially), so the sampled sets and
 // estimates are identical at any parallelism level.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use SampleTwoPredicatesParallelCtx
 func SampleTwoPredicatesParallel(groups []Group, targets []int, udf1, udf2 UDF, rng *stats.RNG, parallelism int) ([]TwoPredSample, []TwoPredGroup, error) {
 	return SampleTwoPredicatesParallelCtx(context.Background(), groups, targets, udf1, udf2, rng, parallelism)
 }
@@ -183,6 +185,8 @@ type tpSlot struct {
 // the f1 survivors of TPEvalBoth groups — so the sequential short-circuit
 // accounting (f2 is never charged for rows f1 rejected) is preserved
 // exactly, as are output order and all counters.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use ExecuteTwoPredicatesParallelCtx
 func ExecuteTwoPredicatesParallel(groups []Group, acts []TwoPredAction, samples []TwoPredSample, udf1, udf2 UDF, cost CostModel, parallelism int) (TwoPredExecResult, error) {
 	return ExecuteTwoPredicatesParallelCtx(context.Background(), groups, acts, samples, udf1, udf2, cost, parallelism)
 }
@@ -304,6 +308,8 @@ func RunTwoPredicates(groups []Group, udf1, udf2 UDF, cons Constraints, cost Cos
 // RunTwoPredicatesParallel is RunTwoPredicates with sampling and execution
 // fanned across up to `parallelism` workers; planning stays sequential and
 // results are identical at any parallelism level.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use RunTwoPredicatesParallelCtx
 func RunTwoPredicatesParallel(groups []Group, udf1, udf2 UDF, cons Constraints, cost CostModel, alloc Allocator, rng *stats.RNG, parallelism int) (TwoPredExecResult, []TwoPredAction, error) {
 	return RunTwoPredicatesParallelCtx(context.Background(), groups, udf1, udf2, cons, cost, alloc, rng, parallelism)
 }

@@ -401,6 +401,8 @@ func NewCachedMeter(udf UDF, cache EvalCache) *Meter {
 // resilient meter a row whose evaluation ultimately failed reports false
 // (the failure was already delivered through onFailure); prefer
 // EvalRowsResilient for batch paths that need the per-row failure flags.
+//
+//predlint:allow ctxflow — pre-context compatibility shim; cancellable batch paths use EvalRowsResilient
 func (m *Meter) Eval(row int) bool {
 	if m.fudf != nil {
 		v, _ := m.EvalFallible(context.Background(), row)

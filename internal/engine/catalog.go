@@ -67,7 +67,26 @@ func (e *Engine) FlushCatalog() error {
 	if c == nil {
 		return nil
 	}
-	for k, sc := range e.evalCaches {
+	// Iterate caches in sorted key order: AddOutcomes appends WAL records,
+	// and the log's byte stream must be a deterministic function of the
+	// workload, not of map iteration order (same contract as the catalog's
+	// own snapshotRecords).
+	keys := make([]evalCacheKey, 0, len(e.evalCaches))
+	for k := range e.evalCaches {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.table != b.table {
+			return a.table < b.table
+		}
+		if a.udf != b.udf {
+			return a.udf < b.udf
+		}
+		return a.column < b.column
+	})
+	for _, k := range keys {
+		sc := e.evalCaches[k]
 		n := sc.Len()
 		if n == e.flushedLens[k] {
 			continue

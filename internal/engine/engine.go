@@ -230,6 +230,8 @@ func (e *Engine) costModel(q Query) core.CostModel {
 }
 
 // Execute runs the query and returns the matching row ids plus statistics.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use ExecuteContext
 func (e *Engine) Execute(q Query) (*Result, error) {
 	return e.ExecuteContext(context.Background(), q)
 }

@@ -25,6 +25,8 @@ type SelectJoinQuery struct {
 // join-multiplicity weights and executes the resulting strategy. The
 // output rows are row ids of the base table (joined expansion is left to
 // the caller); guarantees are at the join-result level.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use ExecuteSelectJoinContext
 func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 	return e.ExecuteSelectJoinContext(context.Background(), q)
 }

@@ -5,8 +5,8 @@ import (
 	"errors"
 	"strings"
 	"sync"
-	"time"
 	"testing"
+	"time"
 
 	"repro/internal/resilience"
 	"repro/internal/table"

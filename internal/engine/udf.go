@@ -8,6 +8,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/table"
@@ -101,7 +102,8 @@ func (r *Registry) Lookup(name string) (UDF, error) {
 	return u, nil
 }
 
-// Names lists the registered UDF names (unordered).
+// Names lists the registered UDF names in sorted order, so callers that
+// render or persist the list get the same bytes on every run.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -109,5 +111,6 @@ func (r *Registry) Names() []string {
 	for n := range r.udfs {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }

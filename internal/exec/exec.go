@@ -76,6 +76,8 @@ func (p *Pool) Workers() int { return p.workers }
 // (in-flight chunks on other workers still finish) and the first captured
 // panic is re-panicked on the calling goroutine as a *PanicError carrying
 // the original value and the panicking goroutine's stack.
+//
+//predlint:allow ctxflow — uncancellable convenience form; cancellable callers use ForEachCtx
 func (p *Pool) ForEach(n int, fn func(i int)) {
 	// context.Background() is never cancelled, so the error is always nil.
 	_ = p.ForEachCtx(context.Background(), n, fn)

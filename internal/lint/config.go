@@ -1,0 +1,56 @@
+package lint
+
+// Default targeting for this repository. Analyzers flag every occurrence
+// of their pattern in the packages they are handed; this table decides
+// which packages that is. The rationale per analyzer:
+//
+//	detrand      result-producing packages: everything on the path from a
+//	             parsed query to rows/Stats/persisted evidence. Excluded:
+//	             internal/experiments and internal/dataset (offline
+//	             harnesses that legitimately measure wall-clock time and
+//	             generate data), internal/ml (offline training), cmd/*
+//	             (entry points report real timestamps in /stats).
+//	ctxflow      the UDF-invoking call chain PR 2 made cancellable.
+//	             Excluded: cmd/* (servers mint their own root contexts).
+//	gospawn      everywhere except the two packages whose whole point is
+//	             owning goroutines (internal/exec pool, internal/resilience
+//	             call-timeout watchdog) and cmd entry points (server
+//	             lifecycle).
+//	maporder     packages producing rows, Stats, evidence or durable
+//	             records. Excluded: cmd/* (human-facing printouts are
+//	             sorted where it matters and irrelevant where not),
+//	             offline harnesses.
+//	errtaxonomy  the invocation boundary: resilience itself, the pool, the
+//	             engine and core (where verdict-shaped functions live).
+//	atomicwrite  internal/catalog, the only package that owns durable
+//	             files.
+//
+// The module root package ("") is predeval, the public API — it is on
+// every data path, so it is included everywhere.
+
+// ModulePath is the import path of the module predlint targets.
+const ModulePath = "repro"
+
+// DefaultTargets maps each analyzer to its package selector.
+func DefaultTargets() map[string]*Target {
+	dataPath := []string{
+		"", "internal/core", "internal/engine", "internal/plan", "internal/solver",
+		"internal/stats", "internal/catalog", "internal/exec", "internal/labels",
+		"internal/table", "internal/sqlparse", "internal/resilience",
+	}
+	return map[string]*Target{
+		"detrand": {Module: ModulePath, Include: dataPath},
+		"ctxflow": {Module: ModulePath, Include: []string{
+			"", "internal/core", "internal/engine", "internal/exec",
+			"internal/plan", "internal/resilience",
+		}},
+		"gospawn": {Module: ModulePath, Exclude: []string{
+			"internal/exec", "internal/resilience", "cmd",
+		}},
+		"maporder": {Module: ModulePath, Include: dataPath},
+		"errtaxonomy": {Module: ModulePath, Include: []string{
+			"", "internal/core", "internal/engine", "internal/exec", "internal/resilience",
+		}},
+		"atomicwrite": {Module: ModulePath, Include: []string{"internal/catalog"}},
+	}
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+var knownTest = map[string]bool{"detrand": true, "gospawn": true, "maporder": true}
+
+func TestParseDirectiveValid(t *testing.T) {
+	cases := []struct {
+		text      string
+		analyzers []string
+		reason    string
+	}{
+		{"//predlint:allow detrand — seeded elsewhere", []string{"detrand"}, "seeded elsewhere"},
+		{"//predlint:allow detrand -- ascii separator works", []string{"detrand"}, "ascii separator works"},
+		{"//predlint:allow detrand,gospawn — two analyzers, one exception", []string{"detrand", "gospawn"}, "two analyzers, one exception"},
+		{"//predlint:allow detrand, gospawn — space after comma", []string{"detrand", "gospawn"}, "space after comma"},
+	}
+	for _, c := range cases {
+		d, problem := parseDirective(c.text, knownTest)
+		if problem != "" {
+			t.Errorf("parseDirective(%q): unexpected problem %q", c.text, problem)
+			continue
+		}
+		if len(d.analyzers) != len(c.analyzers) {
+			t.Errorf("parseDirective(%q): analyzers %v, want %v", c.text, d.analyzers, c.analyzers)
+			continue
+		}
+		for i := range c.analyzers {
+			if d.analyzers[i] != c.analyzers[i] {
+				t.Errorf("parseDirective(%q): analyzers %v, want %v", c.text, d.analyzers, c.analyzers)
+			}
+		}
+		if d.reason != c.reason {
+			t.Errorf("parseDirective(%q): reason %q, want %q", c.text, d.reason, c.reason)
+		}
+	}
+}
+
+func TestParseDirectiveRejected(t *testing.T) {
+	cases := []struct {
+		text    string
+		problem string // substring of the expected problem
+	}{
+		{"//predlint:allow detrand", "without a reason"},
+		{"//predlint:allow detrand —", "without a reason"},
+		{"//predlint:allow detrand —   ", "without a reason"},
+		{"//predlint:allow — reason but no analyzer", "without an analyzer name"},
+		{"//predlint:allow nosuchcheck — bogus name", `unknown analyzer "nosuchcheck"`},
+		{"//predlint:allowx detrand — mangled prefix", "malformed predlint directive"},
+	}
+	for _, c := range cases {
+		d, problem := parseDirective(c.text, knownTest)
+		if problem == "" {
+			t.Errorf("parseDirective(%q): accepted (%+v), want rejection containing %q", c.text, d, c.problem)
+			continue
+		}
+		if !strings.Contains(problem, c.problem) {
+			t.Errorf("parseDirective(%q): problem %q does not contain %q", c.text, problem, c.problem)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Ctxflow enforces the cancellation contract PR 2 established: every
+// function on a UDF-invoking path takes a context.Context as its first
+// parameter and threads it downward, so a hung or expensive UDF is
+// cancellable from the server edge. Two patterns are flagged:
+//
+//   - context.Background() / context.TODO() calls. Minting a fresh root
+//     context severs the cancellation chain; it is legal only in the
+//     directive-marked legacy wrappers kept for the pre-context API
+//     (//predlint:allow ctxflow — … on the wrapper).
+//   - a context.Context parameter that is not the first parameter. The
+//     convention is load-bearing: call sites and wrappers assume position 0.
+var Ctxflow = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid fresh root contexts outside directive-marked legacy wrappers and enforce ctx-first " +
+		"signatures (PR 2: every UDF-invoking path is cancellable end to end)",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if path, name := lint.QualifiedCallee(pass.Info, node); path == "context" && (name == "Background" || name == "TODO") {
+					pass.Reportf(node.Pos(),
+						"context.%s() severs the cancellation chain: thread the caller's ctx through, or mark a legacy wrapper with //predlint:allow ctxflow — <reason>",
+						name)
+				}
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, node.Type)
+			case *ast.FuncLit:
+				checkCtxFirst(pass, node.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxFirst flags context.Context parameters declared after position 0.
+func checkCtxFirst(pass *lint.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isContextType(pass, field.Type) && pos > 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter (the engine's wrappers and call sites assume position 0)")
+		}
+		pos += n
+	}
+}
+
+// isContextType reports whether expr denotes context.Context.
+func isContextType(pass *lint.Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

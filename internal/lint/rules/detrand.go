@@ -1,0 +1,78 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Detrand enforces the determinism invariant PR 1 established: the
+// engine's answers are a pure function of (data, query, seed), so
+// result-producing packages must not consult ambient nondeterminism.
+// Randomness flows through the seeded internal/stats RNG streams —
+// constructing an explicitly seeded generator (rand.New, rand.NewPCG, …)
+// is allowed; the shared global stream (rand.IntN, rand.Shuffle, …) is
+// not. Wall-clock reads (time.Now, time.Since, time.Until) are flagged for
+// the same reason: a timestamp that reaches a result, a sampler decision
+// or a persisted record breaks bit-for-bit reproducibility.
+var Detrand = &lint.Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand streams and wall-clock reads in result-producing packages " +
+		"(PR 1: answers are a pure function of data, query and seed)",
+	Run: runDetrand,
+}
+
+// randConstructors are the explicitly seeded entry points of math/rand and
+// math/rand/v2; every other package-level function draws from or mutates
+// the shared global stream.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runDetrand(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch lint.PkgNamePath(pass.Info, id) {
+			case "math/rand", "math/rand/v2":
+				// Type references (rand.Rand, rand.Source) are fine; only
+				// package-level functions outside the constructor set touch
+				// the global stream. Mentioning such a function without
+				// calling it (passing rand.IntN as a callback) is just as
+				// nondeterministic, so any function use is flagged.
+				if isFuncUse(pass, sel.Sel) && !randConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand stream (%s.%s) in a result-producing package: draw from a seeded internal/stats RNG instead",
+						id.Name, sel.Sel.Name)
+				}
+			case "time":
+				if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" || sel.Sel.Name == "Until" {
+					pass.Reportf(sel.Pos(),
+						"wall-clock read (time.%s) in a result-producing package: timestamps must not influence results; measure outside the engine or thread a clock in",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFuncUse reports whether id resolves to a function object (as opposed
+// to a type, const or var exported by the package).
+func isFuncUse(pass *lint.Pass, id *ast.Ident) bool {
+	_, ok := pass.Info.Uses[id].(*types.Func)
+	return ok
+}

@@ -1,0 +1,113 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Errtaxonomy enforces the failure-classification invariant PR 5
+// established: every error that crosses the retry/breaker boundary carries
+// the typed internal/resilience taxonomy, because resilience.Classify maps
+// anything untyped to Transient — a naked errors.New or fmt.Errorf at the
+// invocation boundary silently buys itself retries (and breaker evidence)
+// it may not deserve.
+//
+// The boundary is identified by shape: a function whose results include
+// both a verdict (bool) and an error is a UDF-invocation path (EvalErr,
+// resilience.Do bodies, rowInvoker and friends). Inside such functions,
+// returning a freshly built untyped error — errors.New(…), or fmt.Errorf
+// without a %w verb — is flagged; wrap a typed cause (%w), build a
+// classified error (resilience.New, resilience.NewPanicError, &Error{…}),
+// or return a sentinel instead. Plain validation helpers returning only an
+// error are out of scope.
+var Errtaxonomy = &lint.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "errors returned from verdict-producing functions must carry the typed resilience taxonomy " +
+		"(PR 5: Classify treats untyped errors as Transient, so naked errors buy unintended retries)",
+	Run: runErrtaxonomy,
+}
+
+func runErrtaxonomy(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		eachFunc(f, func(fn ast.Node, body *ast.BlockStmt) {
+			var ft *ast.FuncType
+			switch d := fn.(type) {
+			case *ast.FuncDecl:
+				ft = d.Type
+			case *ast.FuncLit:
+				ft = d.Type
+			}
+			if !verdictShaped(pass, ft) {
+				return
+			}
+			inspectOwn(body, func(n ast.Node) {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return
+				}
+				for _, res := range ret.Results {
+					checkReturnedError(pass, res)
+				}
+			})
+		})
+	}
+	return nil
+}
+
+// verdictShaped reports whether the signature returns both a bool verdict
+// and an error — the shape of the UDF invocation boundary.
+func verdictShaped(pass *lint.Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Results == nil {
+		return false
+	}
+	var hasBool, hasErr bool
+	for _, field := range ft.Results.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+			hasBool = true
+		}
+		if isErrorType(tv.Type) {
+			hasErr = true
+		}
+	}
+	return hasBool && hasErr
+}
+
+// checkReturnedError flags a return operand that freshly builds an untyped
+// error.
+func checkReturnedError(pass *lint.Pass, res ast.Expr) {
+	call, ok := res.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	path, name := lint.QualifiedCallee(pass.Info, call)
+	switch {
+	case path == "errors" && name == "New":
+		pass.Reportf(call.Pos(),
+			"errors.New crosses the retry/breaker boundary untyped (Classify defaults it to Transient): build a resilience.New/&resilience.Error{…} with an explicit Kind")
+	case path == "fmt" && name == "Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && !strings.Contains(lit.Value, "%w") {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf without %%w crosses the retry/breaker boundary untyped: wrap a classified cause with %%w or build a resilience error with an explicit Kind")
+		}
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}

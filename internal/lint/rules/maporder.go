@@ -1,0 +1,221 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Maporder enforces the ordered-evidence invariant PRs 1–4 fixed by hand
+// in several places: Go map iteration order is deliberately randomized, so
+// a map-range loop may not feed order-sensitive sinks — output rows,
+// Stats, sampler or catalog evidence, WAL records — without an intervening
+// deterministic sort. The analyzer flags a range over a map value whose
+// body
+//
+//   - appends to a slice declared outside the loop,
+//   - sends on a channel, or
+//   - calls a function/method mentioning the loop variables for its side
+//     effect (an expression-statement call), or
+//   - accumulates into an outer floating-point variable (+= order changes
+//     rounding),
+//
+// unless the enclosing function later calls into sort/slices — the
+// collect-then-sort idiom (`for k := range m { keys = append(keys, k) };
+// sort.…`) is exactly the fix, so it passes clean. Writes into maps and
+// indexed slots, delete(), and integer/boolean accumulation are
+// order-independent and never flagged.
+var Maporder = &lint.Analyzer{
+	Name: "maporder",
+	Doc: "forbid map-range loops feeding order-sensitive sinks without a deterministic sort " +
+		"(PRs 1–4: rows, Stats, evidence and WAL records are bit-for-bit reproducible)",
+	Run: runMaporder,
+}
+
+// sortCalls is the escape-hatch set: a later call to any of these in the
+// same function marks the collect-then-sort idiom.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runMaporder(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		eachFunc(f, func(fn ast.Node, body *ast.BlockStmt) {
+			inspectOwn(body, func(n ast.Node) {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return
+				}
+				checkMapRange(pass, body, rng)
+			})
+		})
+	}
+	return nil
+}
+
+// inspectOwn walks stmts of one function body without descending into
+// nested function literals (those are visited as their own functions).
+func inspectOwn(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+func checkMapRange(pass *lint.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	loopVars := rangeVarObjects(pass, rng)
+	if len(loopVars) == 0 {
+		// Without loop variables the body cannot depend on which entry an
+		// iteration sees, so order cannot leak.
+		return
+	}
+	sorted := callsAnyAfter(pass, funcBody, rng.Pos(), sortCalls, nil)
+
+	inspectOwn(rng.Body, func(n ast.Node) {
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(node.Pos(),
+				"channel send inside a map-range loop: receive order follows randomized map iteration; iterate a sorted key slice instead")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, node, rng, loopVars, sorted)
+		case *ast.ExprStmt:
+			call, ok := node.X.(*ast.CallExpr)
+			if !ok || sorted {
+				return
+			}
+			if isOrderInsensitiveCall(pass, call) {
+				return
+			}
+			if mentionsAny(pass, call, loopVars) {
+				pass.Reportf(call.Pos(),
+					"side-effecting call inside a map-range loop feeds its sink in randomized order: collect into a slice, sort, then call")
+			}
+		}
+	})
+}
+
+// checkMapRangeAssign flags order-sensitive assignments in a map-range
+// body: appends to outer slices (unless the function later sorts) and
+// floating-point accumulation into outer variables.
+func checkMapRangeAssign(pass *lint.Pass, as *ast.AssignStmt, rng *ast.RangeStmt, loopVars map[types.Object]bool, sorted bool) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue // indexed writes (m[k] = v) are order-independent
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		if obj == nil || within(obj.Pos(), rng) {
+			continue // loop-local state resets every iteration
+		}
+		switch as.Tok {
+		case token.ASSIGN, token.DEFINE:
+			if i < len(as.Rhs) {
+				if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isBuiltin(pass, call, "append") && !sorted {
+					pass.Reportf(as.Pos(),
+						"append to %q inside a map-range loop without a later sort: slice order follows randomized map iteration", id.Name)
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if isFloat(obj.Type()) && mentionsAny(pass, as.Rhs[0], loopVars) {
+				pass.Reportf(as.Pos(),
+					"floating-point accumulation into %q inside a map-range loop: summation order changes rounding; accumulate over sorted keys", id.Name)
+			}
+		}
+	}
+}
+
+// rangeVarObjects resolves the loop's key/value variables to their objects
+// (skipping blanks).
+func rangeVarObjects(pass *lint.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// mentionsAny reports whether expr references one of the given objects.
+func mentionsAny(pass *lint.Pass, expr ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isOrderInsensitiveCall recognizes calls whose effect cannot depend on
+// iteration order: the delete/append/copy/len/cap builtins and panic.
+func isOrderInsensitiveCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		switch b.Name() {
+		case "delete", "append", "copy", "len", "cap", "panic", "min", "max", "clear":
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pass *lint.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// within reports whether pos falls inside the range statement.
+func within(pos token.Pos, rng *ast.RangeStmt) bool {
+	return pos >= rng.Pos() && pos < rng.End()
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

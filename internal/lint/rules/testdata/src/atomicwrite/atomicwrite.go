@@ -1,0 +1,65 @@
+// Package atomicwrite exercises the atomicwrite analyzer: in-place
+// truncating writes are flagged; the tmp+fsync+rename shape and
+// append-only opens are clean.
+package atomicwrite
+
+import "os"
+
+func flaggedWriteFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "os.WriteFile truncates in place"
+}
+
+func flaggedCreate(path string) error {
+	f, err := os.Create(path) // want "os.Create truncates in place"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func flaggedOpenTrunc(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644) // want "os.OpenFile with O_TRUNC outside the tmp+fsync+rename shape"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func flaggedTruncate(path string, f *os.File) error {
+	if err := os.Truncate(path, 0); err != nil { // want "os.Truncate mutates committed bytes in place"
+		return err
+	}
+	return f.Truncate(0) // want "Truncate mutates committed bytes in place"
+}
+
+func cleanTmpRename(path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644) // tmp+fsync+rename shape: clean
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func cleanAppend(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644) // append-only never tears committed bytes
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

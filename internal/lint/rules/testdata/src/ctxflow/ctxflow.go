@@ -1,0 +1,36 @@
+// Package ctxflow exercises the ctxflow analyzer: context.Background/TODO
+// calls and out-of-position context parameters are flagged; threading the
+// caller's ctx first is clean.
+package ctxflow
+
+import "context"
+
+func flaggedBackground() error {
+	ctx := context.Background() // want "severs the cancellation chain"
+	return work(ctx, 1)
+}
+
+func flaggedTODO() error {
+	return work(context.TODO(), 1) // want "severs the cancellation chain"
+}
+
+func flaggedPosition(n int, ctx context.Context) error { // want "must be the first parameter"
+	return work(ctx, n)
+}
+
+func flaggedLiteral() func() error {
+	return func() error {
+		return work(context.Background(), 2) // want "severs the cancellation chain"
+	}
+}
+
+func work(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+func clean(ctx context.Context, n int) error {
+	child, cancel := context.WithCancel(ctx) // deriving from the caller's ctx is fine
+	defer cancel()
+	return work(child, n)
+}

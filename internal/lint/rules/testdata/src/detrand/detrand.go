@@ -1,0 +1,28 @@
+// Package detrand exercises the detrand analyzer: global math/rand and
+// wall-clock reads are flagged; seeded constructors and clock-free time
+// arithmetic are clean.
+package detrand
+
+import (
+	"math/rand"
+	mrand "math/rand"
+	"time"
+)
+
+func flagged(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want "global math/rand stream"
+	x := rand.Intn(n)                  // want "global math/rand stream"
+	_ = mrand.Float64()                // want "global math/rand stream"
+	start := time.Now()                // want "wall-clock read"
+	_ = time.Since(start)              // want "wall-clock read"
+	return x
+}
+
+func clean(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine: the stream is seeded
+	src := rand.NewSource(seed)
+	_ = src
+	d := 3 * time.Second // time arithmetic without a clock read is fine
+	_ = d
+	return r.Float64()
+}

@@ -1,0 +1,40 @@
+// Package errtaxonomy exercises the errtaxonomy analyzer: verdict-shaped
+// functions (returning both bool and error — the UDF invocation shape) may
+// not return untyped errors; %w-wrapped causes and non-verdict functions
+// are clean.
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+func flaggedNew(v int) (bool, error) {
+	if v < 0 {
+		return false, errors.New("negative") // want "errors.New crosses the retry/breaker boundary untyped"
+	}
+	return true, nil
+}
+
+func flaggedErrorf(v int) (ok bool, err error) {
+	if v < 0 {
+		return false, fmt.Errorf("bad value %d", v) // want "fmt.Errorf without %w crosses the retry/breaker boundary untyped"
+	}
+	return true, nil
+}
+
+var errBase = errors.New("base") // not verdict-shaped: sentinel definitions are fine
+
+func cleanWrapped(v int) (bool, error) {
+	if v < 0 {
+		return false, fmt.Errorf("checking %d: %w", v, errBase) // %w preserves the typed cause
+	}
+	return true, nil
+}
+
+func cleanNonVerdict(v int) error {
+	if v < 0 {
+		return errors.New("negative") // not verdict-shaped: plain error returns are out of scope
+	}
+	return nil
+}

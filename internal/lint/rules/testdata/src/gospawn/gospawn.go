@@ -1,0 +1,24 @@
+// Package gospawn exercises the gospawn analyzer: every go statement is
+// flagged (pool-owning packages are carved out by the driver's target
+// config, not the analyzer).
+package gospawn
+
+import "sync"
+
+func flagged(ch chan int) {
+	go produce(ch) // want "goroutine outside the exec pool"
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine outside the exec pool"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func produce(ch chan int) { ch <- 1 }
+
+func clean(ch chan int) {
+	produce(ch) // plain calls and method values are fine
+	f := produce
+	f(ch)
+}

@@ -1,0 +1,57 @@
+// Package maporder exercises the maporder analyzer: map-range loops that
+// feed order-sensitive sinks (appends without a later sort, channel sends,
+// side-effecting calls, float accumulation) are flagged; the
+// collect-then-sort idiom and order-independent writes are clean.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func flaggedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to \"out\" inside a map-range loop without a later sort"
+	}
+	return out
+}
+
+func flaggedSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside a map-range loop"
+	}
+}
+
+func flaggedCall(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "side-effecting call inside a map-range loop"
+	}
+}
+
+func flaggedFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into \"sum\""
+	}
+	return sum
+}
+
+func cleanCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: the collect-then-sort idiom
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanOrderIndependent(m map[string]int, dst map[string]int) int {
+	total := 0
+	for k, v := range m {
+		total += v // integer addition commutes exactly
+		dst[k] = v // map writes are order-independent
+		delete(m, k)
+	}
+	return total
+}

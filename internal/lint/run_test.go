@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/rules"
+)
+
+// TestSuppressionEndToEnd runs the full suite over testdata/src/suppress
+// and checks the whole suppression pipeline: every directive scope
+// (same-line, line-above, function-doc) suppresses its finding; malformed
+// directives (no reason, unknown analyzer) surface as unsuppressible
+// "predlint" findings; the uncovered violation survives; and the counters
+// the CI summary prints are exact.
+func TestSuppressionEndToEnd(t *testing.T) {
+	pkg := linttest.Load(t, "testdata", "suppress")
+	res, err := lint.Run([]*lint.Package{pkg}, rules.Suite(), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 detrand findings suppressed by 3 well-formed directives (same-line,
+	// line-above, and a function-doc directive covering two draws).
+	if res.Suppressed != 4 {
+		t.Errorf("Suppressed = %d, want 4", res.Suppressed)
+	}
+	if res.Directives != 3 {
+		t.Errorf("Directives = %d, want 3 (malformed directives must not count)", res.Directives)
+	}
+
+	// Survivors: the uncovered rand.Int, the go statement whose directive
+	// was malformed, and the two malformed directives themselves.
+	byAnalyzer := make(map[string][]string)
+	for _, f := range res.Findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], f.Message)
+	}
+	if n := len(byAnalyzer["detrand"]); n != 1 {
+		t.Errorf("surviving detrand findings = %d, want 1 (only the uncovered draw): %v", n, byAnalyzer["detrand"])
+	}
+	if n := len(byAnalyzer["gospawn"]); n != 1 {
+		t.Errorf("surviving gospawn findings = %d, want 1 (its directive has no reason): %v", n, byAnalyzer["gospawn"])
+	}
+	invalid := byAnalyzer[lint.InvalidDirectiveAnalyzer]
+	if len(invalid) != 2 {
+		t.Fatalf("predlint (malformed-directive) findings = %d, want 2: %v", len(invalid), invalid)
+	}
+	wantReason, wantUnknown := false, false
+	for _, msg := range invalid {
+		if strings.Contains(msg, "without a reason") {
+			wantReason = true
+		}
+		if strings.Contains(msg, `unknown analyzer "nosuchcheck"`) {
+			wantUnknown = true
+		}
+	}
+	if !wantReason {
+		t.Errorf("no malformed-directive finding for the reasonless directive: %v", invalid)
+	}
+	if !wantUnknown {
+		t.Errorf("no malformed-directive finding for the unknown analyzer: %v", invalid)
+	}
+
+	// The summary line is what CI prints; pin its counters.
+	sum := res.Summary()
+	if !strings.Contains(sum, "4 suppressed by 3 directives") {
+		t.Errorf("Summary() = %q, want it to report 4 suppressed by 3 directives", sum)
+	}
+}
+
+// TestTargetMatch pins the package-selector semantics the driver config
+// relies on.
+func TestTargetMatch(t *testing.T) {
+	tg := &lint.Target{Module: "repro", Include: []string{"", "internal/core"}, Exclude: []string{"internal/core/testutil"}}
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"repro", true},                         // "" includes the module root
+		{"repro/internal/core", true},           // prefix include
+		{"repro/internal/core/sub", true},       // nested beneath an include
+		{"repro/internal/corelib", false},       // not a path-segment match
+		{"repro/internal/core/testutil", false}, // exclude wins
+		{"otae/internal/core", false},           // other module never matches
+		{"repro/internal/engine", false},        // not included
+	}
+	for _, c := range cases {
+		if got := tg.Match(c.pkg); got != c.want {
+			t.Errorf("Match(%q) = %t, want %t", c.pkg, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package suppress exercises the //predlint:allow grammar end to end:
+// same-line, line-above and function-doc scopes suppress; directives
+// without a reason or naming an unknown analyzer are findings themselves;
+// an uncovered violation survives.
+package suppress
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sameLine() int {
+	return rand.Int() //predlint:allow detrand — same-line scope under test
+}
+
+func lineAbove() time.Time {
+	//predlint:allow detrand — line-above scope under test
+	return time.Now()
+}
+
+// funcScoped draws twice; one doc-comment directive covers both.
+//
+//predlint:allow detrand — function scope under test
+func funcScoped() int {
+	a := rand.Intn(10)
+	b := rand.Intn(20)
+	return a + b
+}
+
+func unsuppressed() int {
+	return rand.Int()
+}
+
+func noReason() {
+	//predlint:allow gospawn
+	go func() {}()
+}
+
+//predlint:allow nosuchcheck — the analyzer name is validated too
+func unknownAnalyzer() int {
+	return 0
+}

@@ -330,6 +330,8 @@ func (db *DB) Explain(sql string) (string, error) {
 // materialized result. An EXPLAIN-prefixed statement is planned instead of
 // executed: the result has a single "plan" column with one row per
 // operator line and zero-valued Stats.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use QueryContext
 func (db *DB) Query(sql string) (*Rows, error) {
 	return db.QueryContext(context.Background(), sql)
 }
