@@ -7,6 +7,7 @@
 package predeval_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
 )
@@ -409,4 +411,63 @@ func BenchmarkCatalogWarmRestart(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(warmEvals)/float64(b.N), "evaluations/op")
+}
+
+// --------------------------------------------------------- observability
+
+// benchFastDB is benchSlowDB with an instant UDF: the query spends its
+// time in the engine itself, so per-operator instrumentation overhead is
+// maximally visible instead of drowned in UDF latency.
+func benchFastDB(b *testing.B, n int) *predeval.DB {
+	b.Helper()
+	csv, truth := loansCSV(n, 1)
+	db := predeval.Open(42)
+	db.SetUDFCache(false)
+	if err := db.LoadCSV("loans", strings.NewReader(csv)); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.RegisterUDF("fast", func(v any) bool { return truth[v.(int64)] }, 3); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkObsOverhead measures what observability costs on the hot path.
+// baseline: plain execution — spans are nil-trace no-ops and no actuals
+// are snapshotted. analyze: the same query under EXPLAIN ANALYZE
+// (per-operator count snapshots + wall times). trace: plain execution
+// with a live span recorder attached. baseline must stay within a few
+// percent of the pre-instrumentation engine; the bench gate diffs it
+// across revisions.
+func BenchmarkObsOverhead(b *testing.B) {
+	const n = 2000
+	const sql = `SELECT id FROM loans WHERE fast(id) = 1`
+	cases := []struct {
+		name  string
+		opts  predeval.QueryOptions
+		trace bool
+	}{
+		{name: "baseline"},
+		{name: "analyze", opts: predeval.QueryOptions{Analyze: true}},
+		{name: "trace", trace: true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			db := benchFastDB(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := context.Background()
+				if c.trace {
+					ctx = obs.WithTrace(ctx, obs.NewTrace())
+				}
+				rows, err := db.QueryContextOptions(ctx, sql, c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows.Stats().Evaluations != n {
+					b.Fatalf("evaluated %d, want %d", rows.Stats().Evaluations, n)
+				}
+			}
+		})
+	}
 }

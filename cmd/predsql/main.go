@@ -9,10 +9,14 @@
 //	              WITH PRECISION 0.8 RECALL 0.8 PROBABILITY 0.8"
 //
 // The command prints the execution statistics (UDF calls, cost, chosen
-// correlated column) and the first rows of the result.
+// correlated column) and the first rows of the result. With -analyze the
+// query runs under EXPLAIN ANALYZE instrumentation and the annotated
+// operator tree (measured rows, UDF calls, cache traffic, retries and
+// per-operator wall time) is printed after the result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,12 +29,13 @@ import (
 
 func main() {
 	var (
-		tables cliutil.MultiFlag
-		truth  = flag.String("truth", "", "labels CSV (id,label) backing the simulated UDF")
-		udf    = flag.String("udf", "good_credit", "UDF name to register")
-		sqlStr = flag.String("sql", "", "query to run")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		limit  = flag.Int("limit", 10, "max rows to print")
+		tables  cliutil.MultiFlag
+		truth   = flag.String("truth", "", "labels CSV (id,label) backing the simulated UDF")
+		udf     = flag.String("udf", "good_credit", "UDF name to register")
+		sqlStr  = flag.String("sql", "", "query to run")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		limit   = flag.Int("limit", 10, "max rows to print")
+		analyze = flag.Bool("analyze", false, "run under EXPLAIN ANALYZE and print the annotated plan after the result")
 	)
 	flag.Var(&tables, "table", "name=path CSV table (repeatable)")
 	flag.Parse()
@@ -64,7 +69,8 @@ func main() {
 		fatal(err)
 	}
 
-	rows, err := db.Query(*sqlStr)
+	rows, err := db.QueryContextOptions(context.Background(), *sqlStr,
+		predeval.QueryOptions{Analyze: *analyze})
 	if err != nil {
 		fatal(err)
 	}
@@ -85,6 +91,10 @@ func main() {
 	}
 	if rows.Len() > *limit {
 		fmt.Printf("... (%d more rows)\n", rows.Len()-*limit)
+	}
+	if plan := rows.Plan(); len(plan) > 0 {
+		fmt.Println()
+		fmt.Println(strings.Join(plan, "\n"))
 	}
 }
 

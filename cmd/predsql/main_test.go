@@ -5,10 +5,13 @@ package main
 // file keeps a smoke check that the pieces wire together for this command.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro"
 	"repro/internal/labels"
 )
 
@@ -24,5 +27,29 @@ func TestLoadLabelsWiring(t *testing.T) {
 	pred := labels.Predicate(m)
 	if !pred(int64(0)) || pred(int64(1)) {
 		t.Fatalf("labels %v mis-predicated", m)
+	}
+}
+
+// TestAnalyzeWiring covers what -analyze does: the query runs with
+// QueryOptions.Analyze and the annotated plan is printable afterwards.
+func TestAnalyzeWiring(t *testing.T) {
+	db := predeval.Open(1)
+	if err := db.LoadCSV("t", strings.NewReader("id\n0\n1\n2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterUDF("f", func(v any) bool { return v.(int64) > 0 }, 0); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryContextOptions(context.Background(),
+		"SELECT * FROM t WHERE f(id) = 1", predeval.QueryOptions{Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", rows.Len())
+	}
+	plan := strings.Join(rows.Plan(), "\n")
+	if len(rows.Plan()) == 0 || !strings.Contains(plan, "(actual ") {
+		t.Fatalf("plan not annotated:\n%s", plan)
 	}
 }

@@ -13,18 +13,30 @@
 // Endpoints:
 //
 //	POST /query    {"sql": "...", "timeout_ms": 500, "limit": 100,
-//	               "explain": false}
+//	               "explain": false, "analyze": false, "trace": false}
 //	               → columns, rows, row ids and execution stats as JSON.
 //	               With "explain": true the statement is planned, not
 //	               executed: the response carries the physical operator
 //	               tree ("plan": one line per operator) and no UDF is ever
-//	               invoked. 408 if the request waited out its deadline in
+//	               invoked. With "analyze": true the query EXECUTES under
+//	               EXPLAIN ANALYZE instrumentation: the rows come back as
+//	               usual and "plan" carries the tree annotated with
+//	               measured per-operator counts. With "trace": true the
+//	               response carries "trace": per-phase spans (parse, bind,
+//	               plan, per-operator, materialize) with µs offsets.
+//	               408 if the request waited out its deadline in
 //	               admission, 504 if the deadline expired mid-query, 400 on
 //	               bad input — parse errors include the offending token's
 //	               position as {"error": ..., "line": l, "col": c}.
 //	GET  /tables   registered tables: name, row count, column names/types.
 //	GET  /stats    server counters (served/failed/timeouts/…) + tables.
+//	GET  /metrics  Prometheus text exposition: query-latency and per-UDF
+//	               duration histograms, admission gauges, resilience and
+//	               catalog counters (same atomics as /stats).
 //	GET  /healthz  liveness probe.
+//
+// -trace-log FILE appends one JSON line of spans per executed query;
+// -pprof-addr serves net/http/pprof on a separate listener.
 //
 // Admission control is a counting semaphore (-max-concurrent): excess
 // queries queue until a slot frees or their deadline fires, so a burst
@@ -79,8 +91,14 @@ import (
 	"repro"
 	"repro/internal/cliutil"
 	"repro/internal/labels"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/sqlparse"
+
+	// Registered on http.DefaultServeMux, served only by the optional
+	// -pprof-addr listener — the query mux is a fresh ServeMux, so the
+	// profiling endpoints never leak onto the public address.
+	_ "net/http/pprof"
 )
 
 func main() {
@@ -97,6 +115,8 @@ func main() {
 		udfDelay      = flag.Duration("udf-delay", 0, "artificial latency per UDF call (simulates an expensive predicate)")
 		dataDir       = flag.String("data-dir", "", "durable catalog directory: UDF verdicts and learned statistics persist across restarts (empty = in-memory only)")
 		flushInterval = flag.Duration("flush-interval", 30*time.Second, "how often the catalog is flushed to disk (0 disables the periodic flush; the drain still flushes)")
+		traceLogPath  = flag.String("trace-log", "", "append one JSON line of per-phase spans for every executed query to this file")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 
 		onFailure      = flag.String("on-failure", "fail", "default failure policy for rows whose UDF invocation ultimately fails: fail, skip or degrade")
 		udfRetries     = flag.Int("udf-retries", 0, "max UDF invocation attempts including the first (0 = default 3)")
@@ -145,6 +165,10 @@ func main() {
 		CallTimeout: *udfCallTimeout,
 	})
 
+	// The metrics registry exists before UDF registration so the bodies can
+	// be instrumented with per-UDF duration histograms.
+	metrics := obs.NewRegistry()
+
 	pred := labels.Delayed(labels.Predicate(truthLabels), *udfDelay)
 	chaosCfg := resilience.ChaosConfig{
 		Seed:         *chaosSeed,
@@ -167,13 +191,13 @@ func main() {
 		body := chaos.Wrap(func(_ context.Context, v any) (bool, error) {
 			return pred(v), nil
 		})
-		if err := db.RegisterUDFErr(*udf, body, 0); err != nil {
+		if err := db.RegisterUDFErr(*udf, instrumentUDF(metrics, *udf, body), 0); err != nil {
 			log.Fatalf("predsqld: %v", err)
 		}
 		log.Printf("predsqld: chaos injection enabled (seed=%d error-rate=%g panic-rate=%g latency=%v@%g fail-attempts=%d flap=%d/%d)",
 			chaosCfg.Seed, chaosCfg.ErrorRate, chaosCfg.PanicRate, chaosCfg.Latency, chaosCfg.LatencyRate,
 			chaosCfg.FailAttempts, chaosCfg.FlapDown, chaosCfg.FlapPeriod)
-	} else if err := db.RegisterUDF(*udf, pred, 0); err != nil {
+	} else if err := db.RegisterUDF(*udf, instrumentPredicate(metrics, *udf, pred), 0); err != nil {
 		log.Fatalf("predsqld: %v", err)
 	}
 
@@ -193,8 +217,25 @@ func main() {
 		MaxConcurrent:  *maxConcurrent,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Metrics:        metrics,
 	})
 	srv.chaos = chaos
+	if *traceLogPath != "" {
+		f, err := os.OpenFile(*traceLogPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatalf("predsqld: %v", err)
+		}
+		defer f.Close()
+		srv.traceLog = &traceLogger{w: f}
+	}
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the net/http/pprof handlers; a dedicated
+		// listener keeps them off the public query address.
+		go func() {
+			log.Printf("predsqld: pprof on %s", *pprofAddr)
+			log.Printf("predsqld: pprof listener: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 	stopFlusher := srv.startCatalogFlusher(*flushInterval)
 	// Header/read timeouts bound connection-level stalls (slow-loris); the
 	// per-query deadline machinery only starts once a request is decoded.
@@ -244,6 +285,10 @@ type serverConfig struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested timeouts. ≤ 0 defaults to 5m.
 	MaxTimeout time.Duration
+	// Metrics is the registry GET /metrics serves (nil = a fresh one). Pass
+	// the registry used to instrument the UDF bodies so their duration
+	// histograms appear in the same exposition.
+	Metrics *obs.Registry
 }
 
 func (c *serverConfig) fill() {
@@ -255,6 +300,9 @@ func (c *serverConfig) fill() {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 }
 
@@ -269,6 +317,12 @@ type server struct {
 	// chaos, when non-nil, is the fault injector wrapped around the UDF
 	// (surfaced in GET /stats).
 	chaos *resilience.Chaos
+	// metrics backs GET /metrics; queryDur is its query-latency histogram.
+	metrics  *obs.Registry
+	queryDur *obs.Histogram
+	// traceLog, when non-nil, receives one JSON line of spans per executed
+	// query (-trace-log).
+	traceLog *traceLogger
 
 	served      atomic.Int64 // completed successfully
 	failed      atomic.Int64 // query/parse errors
@@ -276,6 +330,7 @@ type server struct {
 	rejected    atomic.Int64 // deadline expired waiting for admission
 	disconnects atomic.Int64 // client gone before the query finished
 	inflight    atomic.Int64 // currently executing (post-admission)
+	waiting     atomic.Int64 // queued for an execution slot right now
 	panics      atomic.Int64 // handler panics recovered by the middleware
 
 	failedRows   atomic.Int64 // UDF rows that ultimately failed, summed over queries
@@ -336,12 +391,15 @@ func (s *server) startCatalogFlusher(interval time.Duration) (stop func()) {
 
 func newServer(db *predeval.DB, cfg serverConfig) *server {
 	cfg.fill()
-	return &server{
-		db:    db,
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		start: time.Now(),
+	s := &server{
+		db:      db,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		start:   time.Now(),
+		metrics: cfg.Metrics,
 	}
+	s.registerMetrics()
+	return s
 }
 
 func (s *server) handler() http.Handler {
@@ -349,6 +407,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -399,6 +458,16 @@ type queryRequest struct {
 	// OnFailure overrides the server's failure policy for this query:
 	// "fail", "skip" or "degrade" ("" keeps the server default).
 	OnFailure string `json:"on_failure"`
+	// Analyze executes the query with EXPLAIN ANALYZE instrumentation: the
+	// response carries the result as usual plus "plan", the operator tree
+	// annotated with measured per-operator counts. Equivalent to prefixing
+	// the SQL with EXPLAIN ANALYZE (which instead returns the plan as the
+	// result set, like Postgres). Unlike "explain", the query RUNS — it
+	// goes through admission control and invokes UDFs.
+	Analyze bool `json:"analyze"`
+	// Trace records per-phase spans (parse, bind, plan, per-operator,
+	// materialize) and returns them in the response as "trace".
+	Trace bool `json:"trace"`
 }
 
 // queryStats mirrors predeval.Stats for the wire.
@@ -429,6 +498,10 @@ type queryResponse struct {
 	Degraded  bool       `json:"degraded,omitempty"`
 	Stats     queryStats `json:"stats"`
 	ElapsedMS float64    `json:"elapsed_ms"`
+	// Plan is the EXPLAIN ANALYZE annotated operator tree ("analyze": true).
+	Plan []string `json:"plan,omitempty"`
+	// Trace is the query's span list ("trace": true).
+	Trace []obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // errorResponse is the error payload; parse errors carry the offending
@@ -456,11 +529,16 @@ type explainResponse struct {
 	Plan []string `json:"plan"`
 }
 
-// isExplainSQL reports whether the statement's first word is EXPLAIN, so
-// keyword-explain requests take the same fast path as the request flag.
+// isExplainSQL reports whether the statement is a plan-only EXPLAIN: first
+// word EXPLAIN and NOT followed by ANALYZE. Keyword-explain requests take
+// the same fast path as the request flag; EXPLAIN ANALYZE executes UDFs,
+// so it must go through admission control like any other query.
 func isExplainSQL(sql string) bool {
 	fields := strings.Fields(sql)
-	return len(fields) > 0 && strings.EqualFold(fields[0], "EXPLAIN")
+	if len(fields) == 0 || !strings.EqualFold(fields[0], "EXPLAIN") {
+		return false
+	}
+	return len(fields) < 2 || !strings.EqualFold(fields[1], "ANALYZE")
 }
 
 // errAdmission marks a request whose deadline fired while queueing for an
@@ -520,15 +598,25 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Tracing: requested per query, or forced server-wide by -trace-log.
+	var tr *obs.Trace
+	if req.Trace || s.traceLog != nil {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+
 	// The execution slot is held only while the engine runs — response
 	// encoding happens after release, so a slow-reading client cannot pin
 	// an admission slot past its query.
 	var started time.Time
 	var elapsed time.Duration
 	rows, err := func() (*predeval.Rows, error) {
+		s.waiting.Add(1)
 		select {
 		case s.sem <- struct{}{}:
+			s.waiting.Add(-1)
 		case <-ctx.Done():
+			s.waiting.Add(-1)
 			// Distinguish "deadline ran out while queueing" (admission
 			// pressure, 408) from "client hung up while queueing" (499).
 			if errors.Is(ctx.Err(), context.Canceled) {
@@ -541,8 +629,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer s.inflight.Add(-1)
 		started = time.Now()
 		defer func() { elapsed = time.Since(started) }()
-		return s.db.QueryContextOptions(ctx, req.SQL, predeval.QueryOptions{OnFailure: req.OnFailure})
+		return s.db.QueryContextOptions(ctx, req.SQL,
+			predeval.QueryOptions{OnFailure: req.OnFailure, Analyze: req.Analyze})
 	}()
+	if !started.IsZero() {
+		s.queryDur.Observe(elapsed.Seconds())
+	}
+	if tr != nil {
+		s.traceLog.log(req.SQL, tr.Spans())
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, errAdmission):
@@ -581,6 +676,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		RowCount:  n,
 		Truncated: shown < n,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		Plan:      rows.Plan(),
+	}
+	if req.Trace && tr != nil {
+		out.Trace = tr.Spans()
 	}
 	for i := 0; i < shown; i++ {
 		out.Rows = append(out.Rows, rows.Row(i))

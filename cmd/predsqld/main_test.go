@@ -14,6 +14,7 @@ import (
 
 	"repro"
 	"repro/internal/labels"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -37,8 +38,11 @@ func testServer(t *testing.T, n int, udfDelay time.Duration, cfg serverConfig) (
 	if err := db.LoadCSV("loans", strings.NewReader(sb.String())); err != nil {
 		t.Fatal(err)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	pred := labels.Delayed(labels.Predicate(truth), udfDelay)
-	if err := db.RegisterUDF("good_credit", pred, 0); err != nil {
+	if err := db.RegisterUDF("good_credit", instrumentPredicate(cfg.Metrics, "good_credit", pred), 0); err != nil {
 		t.Fatal(err)
 	}
 	srv := newServer(db, cfg)

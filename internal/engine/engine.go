@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/resilience"
 	"repro/internal/stats"
@@ -244,30 +245,40 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 // evaluation, no entry is ever stored partially, and a later run of the
 // same query completes normally. See DESIGN.md, "Cancellation contract".
 func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
-	return e.executeStatement(ctx, q, nil)
+	res, _, err := e.executeStatement(ctx, q, nil, false)
+	return res, err
 }
 
 // executeStatement is the uniform execution path for every query shape:
 // validate, bind tables and predicates, lower into the physical operator
 // tree, and run it. The former per-shape dispatch branches live on as plan
-// shapes (see planner.go and operators.go).
-func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoinQuery) (*Result, error) {
+// shapes (see planner.go and operators.go). With analyze set, the executed
+// tree comes back with per-operator Actual counts (EXPLAIN ANALYZE); the
+// returned root is nil otherwise. A trace attached to ctx (obs.WithTrace)
+// gets bind/plan/operator spans either way.
+func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoinQuery, analyze bool) (*Result, *plan.Node, error) {
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := validateShape(q, join); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("bind")
 	st, err := e.bindStatement(q, join)
+	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	st.analyze = analyze
+	sp = tr.Start("plan")
 	root, err := plan.Physical(e.buildSpec(st))
+	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Trip baselines for the breakers this statement touches (deduped by
 	// pointer — duplicate predicates share one breaker), so Stats can report
@@ -291,11 +302,11 @@ func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoin
 		e.mu.Unlock()
 	}
 	if err := e.runNode(ctx, root, st); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, p := range st.preds {
 		if err := p.fault.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	// Resilience accounting: failed rows and retries from the per-predicate
@@ -313,7 +324,10 @@ func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoin
 	}
 	e.cacheHits.Add(int64(st.res.Stats.CacheHits))
 	e.cacheMisses.Add(int64(st.res.Stats.CacheMisses))
-	return st.res, nil
+	if !analyze {
+		root = nil
+	}
+	return st.res, root, nil
 }
 
 // universe resolves a row subset: nil means every row of the table.

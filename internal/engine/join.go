@@ -36,7 +36,8 @@ func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 // planner pipeline as every other shape: group-resolve → join-group →
 // sample → solve(join-weights) → prob-eval → merge (see operators.go).
 func (e *Engine) ExecuteSelectJoinContext(ctx context.Context, q SelectJoinQuery) (*Result, error) {
-	return e.executeStatement(ctx, q.Query, &q)
+	res, _, err := e.executeStatement(ctx, q.Query, &q, false)
+	return res, err
 }
 
 // JoinMultiplicities is a helper exposing the per-key match counts of a

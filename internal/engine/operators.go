@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/resilience"
 	"repro/internal/stats"
@@ -68,6 +70,36 @@ type pipeState struct {
 	// skipped (used by terminal operators and short-circuits like the
 	// empty join).
 	res *Result
+
+	// analyze turns on EXPLAIN ANALYZE instrumentation: runNode records
+	// each operator's deterministic counter deltas (and display-only wall
+	// time) into the plan node it executes.
+	analyze bool
+}
+
+// predTotals is a snapshot of the statement-wide deterministic counters:
+// charged UDF calls and cache traffic summed over the predicates' meters,
+// failure/retry/denial totals summed over their sinks. runNode diffs two
+// snapshots to attribute work to one operator. The walker runs operators
+// sequentially (parallelism lives inside an operator), so the deltas are
+// exact and — because every underlying counter is deterministic at any
+// parallelism — bit-identical at any parallelism too.
+type predTotals struct {
+	calls, hits, misses, retries, failed, denied int
+}
+
+func (st *pipeState) predTotals() predTotals {
+	var t predTotals
+	for _, p := range st.preds {
+		t.calls += p.meter.Calls()
+		t.hits += p.meter.CacheHits()
+		t.misses += p.meter.CacheMisses()
+		f, r, d := p.sink.countsFull()
+		t.failed += f
+		t.retries += r
+		t.denied += d
+	}
+	return t
 }
 
 // bindStatement resolves every name a statement references — the base
@@ -168,7 +200,9 @@ func (e *Engine) resolvePreds(tbl *table.Table, q Query) ([]resolvedPred, error)
 
 // runNode executes a physical plan node: children first (pipeline tail),
 // then the node's own operator. A node whose child already finished the
-// result (an operator short-circuit) is skipped.
+// result (an operator short-circuit) is skipped. Under EXPLAIN ANALYZE
+// (st.analyze) each executed operator records its counter deltas into
+// n.Actual; when a trace rides the context, each operator gets a span.
 func (e *Engine) runNode(ctx context.Context, n *plan.Node, st *pipeState) error {
 	for _, c := range n.Children {
 		if err := e.runNode(ctx, c, st); err != nil {
@@ -178,6 +212,76 @@ func (e *Engine) runNode(ctx context.Context, n *plan.Node, st *pipeState) error
 	if st.res != nil {
 		return nil
 	}
+	// Display-only nodes of the fused §5 shape: the conj-exec operator
+	// performs their work internally, so they neither run nor measure.
+	if n.Op == plan.OpConjSolve || (n.Op == plan.OpConjSample && n.Mode == plan.ModeTwoPred) {
+		return nil
+	}
+	sp := obs.FromContext(ctx).Start("op:" + string(n.Op))
+	var before predTotals
+	var start time.Time
+	if st.analyze {
+		before = st.predTotals()
+		start = obs.Now()
+	}
+	err := e.runOp(ctx, n, st)
+	if err == nil && st.analyze {
+		after := st.predTotals()
+		a := &plan.Actual{
+			Calls:       after.calls - before.calls,
+			CacheHits:   after.hits - before.hits,
+			CacheMisses: after.misses - before.misses,
+			Retries:     after.retries - before.retries,
+			Denied:      after.denied - before.denied,
+			Failed:      after.failed - before.failed,
+			ElapsedNS:   int64(obs.Since(start)),
+		}
+		st.fillActualRows(n.Op, a)
+		n.Actual = a
+	}
+	sp.End()
+	return err
+}
+
+// fillActualRows resolves the "rows out" (and groups, where meaningful) of
+// an operator from the pipeline products it just wrote.
+func (st *pipeState) fillActualRows(op plan.Op, a *plan.Actual) {
+	groupRows := func() int {
+		n := 0
+		for _, g := range st.groups {
+			n += len(g.Rows)
+		}
+		return n
+	}
+	switch op {
+	case plan.OpScan:
+		a.Rows = st.tbl.NumRows()
+	case plan.OpFilter:
+		if st.subset != nil {
+			a.Rows = len(st.subset)
+		} else {
+			a.Rows = st.tbl.NumRows()
+		}
+	case plan.OpGroupResolve, plan.OpJoinGroup:
+		a.Rows = groupRows()
+		a.Groups = len(st.groups)
+	case plan.OpSample:
+		a.Rows = st.sampler.TotalSampled()
+	case plan.OpConjSample:
+		for _, s := range st.conjSamples {
+			a.Rows += len(s.Results)
+		}
+	case plan.OpProbEval:
+		a.Rows = len(st.exec.Output)
+	case plan.OpMerge, plan.OpExactEval, plan.OpConjExec, plan.OpConjWaves:
+		if st.res != nil {
+			a.Rows = len(st.res.Rows)
+		}
+	}
+}
+
+// runOp dispatches one physical operator.
+func (e *Engine) runOp(ctx context.Context, n *plan.Node, st *pipeState) error {
 	switch n.Op {
 	case plan.OpScan:
 		return nil // the row universe is implicit (subset nil = all rows)
@@ -198,12 +302,7 @@ func (e *Engine) runNode(ctx context.Context, n *plan.Node, st *pipeState) error
 	case plan.OpExactEval:
 		return e.opExactEval(ctx, st)
 	case plan.OpConjSample:
-		if n.Mode == plan.ModeTwoPred {
-			return nil // performed inside the fused §5 operator (opConjExec)
-		}
 		return e.opConjSample(ctx, st)
-	case plan.OpConjSolve:
-		return nil // planned jointly with execution in opConjExec (§5)
 	case plan.OpConjExec:
 		return e.opConjExec(ctx, st)
 	case plan.OpConjWaves:

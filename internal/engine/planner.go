@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -144,4 +145,26 @@ func (e *Engine) ExplainSelectJoin(q SelectJoinQuery) (string, error) {
 		return "", err
 	}
 	return plan.Format(n), nil
+}
+
+// ExplainAnalyzeContext EXECUTES the query and returns the physical plan
+// annotated with per-operator measured counts (plan.Actual) alongside the
+// result. The count fields are bit-identical at any parallelism; only the
+// per-node wall times vary (see plan.ZeroTimings).
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, q Query) (*plan.Node, *Result, error) {
+	res, root, err := e.executeStatement(ctx, q, nil, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, res, nil
+}
+
+// ExplainAnalyzeSelectJoinContext is ExplainAnalyzeContext for the
+// selection-before-join extension.
+func (e *Engine) ExplainAnalyzeSelectJoinContext(ctx context.Context, q SelectJoinQuery) (*plan.Node, *Result, error) {
+	res, root, err := e.executeStatement(ctx, q.Query, &q, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, res, nil
 }

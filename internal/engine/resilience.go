@@ -78,9 +78,12 @@ type predSink struct {
 	mu      sync.Mutex
 	failed  map[int]error
 	retries int
+	denied  int
 }
 
 // recordFailure notes a row's final failure (first error per row wins).
+// Rows denied by an open circuit breaker are additionally tallied so
+// EXPLAIN ANALYZE can split denials out of the failure total.
 func (s *predSink) recordFailure(row int, err error) {
 	s.mu.Lock()
 	if s.failed == nil {
@@ -88,6 +91,9 @@ func (s *predSink) recordFailure(row int, err error) {
 	}
 	if _, dup := s.failed[row]; !dup {
 		s.failed[row] = err
+		if errors.Is(err, resilience.ErrBreakerOpen) {
+			s.denied++
+		}
 	}
 	s.mu.Unlock()
 }
@@ -107,6 +113,15 @@ func (s *predSink) counts() (int, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.failed), s.retries
+}
+
+// countsFull reports (distinct failed rows, total retries, breaker-denied
+// rows). Like everything the sink folds, the totals are per-row
+// deterministic regardless of evaluation interleaving.
+func (s *predSink) countsFull() (failed, retries, denied int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.failed), s.retries, s.denied
 }
 
 // rowInvoker adapts one bound predicate to the core fallible-UDF interface:

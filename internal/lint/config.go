@@ -9,7 +9,13 @@ package lint
 //	             internal/experiments and internal/dataset (offline
 //	             harnesses that legitimately measure wall-clock time and
 //	             generate data), internal/ml (offline training), cmd/*
-//	             (entry points report real timestamps in /stats).
+//	             (entry points report real timestamps in /stats), and
+//	             internal/obs — the ONE sanctioned wall-clock package:
+//	             every timer, span and histogram observation routes
+//	             through obs.Now/obs.Since, so a time.Now() appearing in
+//	             any data-path package is a determinism bug, not a
+//	             measurement (no blanket //predlint:allow — the carve-out
+//	             is this table, pinned by TestDefaultTargetsObsCarveOut).
 //	ctxflow      the UDF-invoking call chain PR 2 made cancellable.
 //	             Excluded: cmd/* (servers mint their own root contexts).
 //	gospawn      everywhere except the two packages whose whole point is
@@ -38,6 +44,10 @@ func DefaultTargets() map[string]*Target {
 		"internal/stats", "internal/catalog", "internal/exec", "internal/labels",
 		"internal/table", "internal/sqlparse", "internal/resilience",
 	}
+	// internal/obs produces deterministic output from map-shaped state
+	// (metric families, label sets), so ordered emission applies to it —
+	// but it is deliberately NOT a detrand target (see the package doc).
+	mapOrdered := append(append([]string{}, dataPath...), "internal/obs")
 	return map[string]*Target{
 		"detrand": {Module: ModulePath, Include: dataPath},
 		"ctxflow": {Module: ModulePath, Include: []string{
@@ -47,7 +57,7 @@ func DefaultTargets() map[string]*Target {
 		"gospawn": {Module: ModulePath, Exclude: []string{
 			"internal/exec", "internal/resilience", "cmd",
 		}},
-		"maporder": {Module: ModulePath, Include: dataPath},
+		"maporder": {Module: ModulePath, Include: mapOrdered},
 		"errtaxonomy": {Module: ModulePath, Include: []string{
 			"", "internal/core", "internal/engine", "internal/exec", "internal/resilience",
 		}},

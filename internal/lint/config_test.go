@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestDefaultTargetsObsCarveOut pins the observability determinism
+// contract at the config level: detrand covers every result-producing
+// package but NOT repro/internal/obs, the single sanctioned wall-clock
+// site. Combined with the rules-level detrand test (time.Now is always
+// flagged where the analyzer runs), this proves a time.Now() outside
+// internal/obs fails the suite without any //predlint:allow escape hatch.
+func TestDefaultTargetsObsCarveOut(t *testing.T) {
+	targets := lint.DefaultTargets()
+	detrand := targets["detrand"]
+	if detrand == nil {
+		t.Fatal("no detrand target")
+	}
+	for _, pkg := range []string{
+		"repro", "repro/internal/core", "repro/internal/engine",
+		"repro/internal/plan", "repro/internal/exec", "repro/internal/resilience",
+	} {
+		if !detrand.Match(pkg) {
+			t.Errorf("detrand must cover %s", pkg)
+		}
+	}
+	if detrand.Match("repro/internal/obs") {
+		t.Error("detrand covers repro/internal/obs: the sanctioned clock package must be carved out here, not via //predlint:allow")
+	}
+
+	maporder := targets["maporder"]
+	if maporder == nil {
+		t.Fatal("no maporder target")
+	}
+	if !maporder.Match("repro/internal/obs") {
+		t.Error("maporder must cover repro/internal/obs: exposition output is built from maps")
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteExposition renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one
+// "# HELP" / "# TYPE" header each, samples sorted by label signature so
+// output is stable across scrapes.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		type row struct {
+			sig  string
+			line string
+		}
+		var rows []row
+		add := func(sig, line string) { rows = append(rows, row{sig, line}) }
+		for _, m := range f.metrics {
+			switch {
+			case m.ctr != nil:
+				add(m.sig, sampleLine(f.name, m.labels, float64(m.ctr.Value())))
+			case m.gauge != nil:
+				add(m.sig, sampleLine(f.name, m.labels, m.gauge.Value()))
+			case m.gfn != nil:
+				add(m.sig, sampleLine(f.name, m.labels, m.gfn()))
+			case m.hist != nil:
+				writeHistogram(add, f.name, m)
+			}
+		}
+		for _, fn := range f.collect {
+			for _, s := range fn() {
+				add(labelSig(s.Labels), sampleLine(f.name, s.Labels, s.Value))
+			}
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].sig < rows[j].sig })
+		for _, r := range rows {
+			bw.WriteString(r.line)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram metric into its cumulative
+// _bucket/_sum/_count exposition samples. Scrapes race observations, so
+// the +Inf bucket is clamped up to the running cumulative sum to keep the
+// bucket sequence non-decreasing.
+func writeHistogram(add func(sig, line string), name string, m *metric) {
+	h := m.hist
+	cum := int64(0)
+	var b strings.Builder
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		b.WriteString(sampleLine(name+"_bucket", append(append([]Label{}, m.labels...), Label{"le", le}), float64(cum)))
+	}
+	count := h.count.Load()
+	if cum > count {
+		count = cum
+	}
+	b.WriteString(sampleLine(name+"_bucket", append(append([]Label{}, m.labels...), Label{"le", "+Inf"}), float64(count)))
+	b.WriteString(sampleLine(name+"_sum", m.labels, math.Float64frombits(h.sumBits.Load())))
+	b.WriteString(sampleLine(name+"_count", m.labels, float64(count)))
+	add(m.sig, b.String())
+}
+
+func sampleLine(name string, labels []Label, v float64) string {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

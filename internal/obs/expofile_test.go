@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"os"
+	"testing"
+)
+
+// TestParseExpositionFile validates a /metrics scrape saved to disk — the
+// CI metrics e2e step starts a real predsqld, runs a query, scrapes
+// GET /metrics into a file and points EXPO_FILE here. Skipped when the
+// env var is unset, so the test is inert in normal runs.
+func TestParseExpositionFile(t *testing.T) {
+	path := os.Getenv("EXPO_FILE")
+	if path == "" {
+		t.Skip("EXPO_FILE not set (driven by the CI metrics e2e step)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := ParseExposition(f)
+	if err != nil {
+		t.Fatalf("scrape is not valid exposition: %v", err)
+	}
+	// The server ran at least one query and its UDF, so both required
+	// histogram families must be populated.
+	if got := samples["predsqld_query_duration_seconds_count"]; got < 1 {
+		t.Errorf("query_duration_seconds_count = %v, want >= 1", got)
+	}
+	if got := samples[`predsqld_udf_duration_seconds_count{udf="good_credit"}`]; got < 1 {
+		t.Errorf("udf_duration_seconds_count{udf=good_credit} = %v, want >= 1", got)
+	}
+	if got := samples[`predsqld_queries_total{status="ok"}`]; got < 1 {
+		t.Errorf(`queries_total{status="ok"} = %v, want >= 1`, got)
+	}
+}

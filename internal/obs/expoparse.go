@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition reads Prometheus text exposition format and validates
+// it: metric-name charset, label syntax, numeric values, "# TYPE"
+// declared before a family's samples, and histogram shape (ascending
+// non-decreasing cumulative buckets ending in le="+Inf", with matching
+// _count and a _sum). It is the tiny validating parser the CI metrics
+// gate and the scrape tests run against a live /metrics endpoint.
+//
+// The returned map is keyed by the sample name plus its labels sorted by
+// label name, e.g. `predsqld_queries_total{status="ok"}`.
+func ParseExposition(r io.Reader) (map[string]float64, error) {
+	types := make(map[string]string) // family -> declared type
+	helped := make(map[string]bool)  // family -> HELP seen
+	out := make(map[string]float64)
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	hbuckets := make(map[string][]bucket) // histogram series (sans le) -> buckets
+	hinf := make(map[string]float64)      // histogram series -> +Inf bucket value
+	hcount := make(map[string]float64)
+	hsum := make(map[string]bool)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, types, helped); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, suffix := familyOf(name, types)
+		if _, ok := types[fam]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q precedes its # TYPE declaration", lineNo, name)
+		}
+		key := sampleKey(name, labels)
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		out[key] = val
+		if types[fam] == "histogram" {
+			series := fam + "\x00" + sampleKey("", withoutLabel(labels, "le"))
+			switch suffix {
+			case "_bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return nil, fmt.Errorf("line %d: histogram bucket %q missing le label", lineNo, name)
+				}
+				if le == "+Inf" {
+					hinf[series] = val
+				} else {
+					b, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						return nil, fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+					}
+					hbuckets[series] = append(hbuckets[series], bucket{b, val})
+				}
+			case "_count":
+				hcount[series] = val
+			case "_sum":
+				hsum[series] = true
+			default:
+				return nil, fmt.Errorf("line %d: histogram family %q has plain sample %q", lineNo, fam, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Histogram shape checks, per series (a series may legitimately have
+	// no finite buckets, so key the sweep on every map that names one).
+	seriesSet := make(map[string]bool)
+	for s := range hbuckets {
+		seriesSet[s] = true
+	}
+	for s := range hinf {
+		seriesSet[s] = true
+	}
+	for s := range hcount {
+		seriesSet[s] = true
+	}
+	series := make([]string, 0, len(seriesSet))
+	for s := range seriesSet {
+		series = append(series, s)
+	}
+	sort.Strings(series)
+	for _, series := range series {
+		bs := hbuckets[series]
+		fam := series[:strings.IndexByte(series, 0)]
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		prev := 0.0
+		for _, b := range bs {
+			if b.val < prev {
+				return nil, fmt.Errorf("histogram %s: bucket counts decrease at le=%g", fam, b.le)
+			}
+			prev = b.val
+		}
+		inf, ok := hinf[series]
+		if !ok {
+			return nil, fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", fam)
+		}
+		if inf < prev {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket below last finite bucket", fam)
+		}
+		count, ok := hcount[series]
+		if !ok {
+			return nil, fmt.Errorf("histogram %s: missing _count", fam)
+		}
+		if count != inf {
+			return nil, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", fam, count, inf)
+		}
+		if !hsum[series] {
+			return nil, fmt.Errorf("histogram %s: missing _sum", fam)
+		}
+	}
+	return out, nil
+}
+
+func parseComment(line string, types map[string]string, helped map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		name := fields[2]
+		if !validName(name) {
+			return fmt.Errorf("bad metric name %q in TYPE", name)
+		}
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE %s missing type", name)
+		}
+		typ := strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE %s has invalid type %q", name, typ)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		types[name] = typ
+	case "HELP":
+		name := fields[2]
+		if !validName(name) {
+			return fmt.Errorf("bad metric name %q in HELP", name)
+		}
+		if helped[name] {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		helped[name] = true
+	}
+	return nil
+}
+
+// parseSample splits `name{a="b",...} value` into its parts.
+func parseSample(line string) (string, []Label, float64, error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	var labels []Label
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("sample %q: %w", name, err)
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp is legal; take the first field as the value.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	val, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value %q", name, rest)
+	}
+	return name, labels, val, nil
+}
+
+func parseLabels(s string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " ")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label missing '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validName(name) || strings.Contains(name, ":") {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s value not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return nil, "", fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if len(s) == 0 {
+					return nil, "", fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch s[0] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[0])
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %s", s[0], name)
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels = append(labels, Label{name, val.String()})
+		s = strings.TrimLeft(s, " ")
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf maps a sample name back to its declared family, stripping the
+// histogram suffixes when the base name is a declared histogram.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" {
+				return base, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+func sampleKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := append([]Label{}, labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func labelValue(labels []Label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+func withoutLabel(labels []Label, name string) []Label {
+	out := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Name != name {
+			out = append(out, l)
+		}
+	}
+	return out
+}

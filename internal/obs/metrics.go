@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair attached to a metric.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one exposition sample produced by a collector callback: a
+// label set and a value, emitted under the collector's family name.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// DefBuckets are the default latency buckets (seconds), spanning 500µs
+// to 10s — wide enough for both fast cached queries and slow chaos runs.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n panics (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are
+// lock-free; exposition reads may race individual bucket increments but
+// never tear a value (all fields are atomics), which is the standard
+// Prometheus scrape contract.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(Since(start).Seconds()) }
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// metric is one registered (labels, instrument) pair inside a family.
+type metric struct {
+	labels []Label
+	sig    string
+	ctr    *Counter
+	gauge  *Gauge
+	gfn    func() float64
+	hist   *Histogram
+}
+
+// family groups every metric sharing one exposition name.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	metrics []*metric
+	collect []func() []Sample
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func labelSig(labels []Label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}
+
+func (r *Registry) familyFor(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// find returns the existing metric with the same label signature, making
+// registration idempotent (re-registering returns the same instrument).
+func (f *family) find(sig string) *metric {
+	for _, m := range f.metrics {
+		if m.sig == sig {
+			return m
+		}
+	}
+	return nil
+}
+
+// Counter registers (or returns the existing) counter under name with the
+// given labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "counter")
+	sig := labelSig(labels)
+	if m := f.find(sig); m != nil {
+		return m.ctr
+	}
+	m := &metric{labels: labels, sig: sig, ctr: &Counter{}}
+	f.metrics = append(f.metrics, m)
+	return m.ctr
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "gauge")
+	sig := labelSig(labels)
+	if m := f.find(sig); m != nil {
+		return m.gauge
+	}
+	m := &metric{labels: labels, sig: sig, gauge: &Gauge{}}
+	f.metrics = append(f.metrics, m)
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read by calling fn at scrape
+// time (for values that already live in an atomic elsewhere).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "gauge")
+	sig := labelSig(labels)
+	if f.find(sig) != nil {
+		return
+	}
+	f.metrics = append(f.metrics, &metric{labels: labels, sig: sig, gfn: fn})
+}
+
+// Histogram registers (or returns the existing) histogram under name with
+// the given ascending bucket upper bounds (seconds for latency metrics).
+// A +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "histogram")
+	sig := labelSig(labels)
+	if m := f.find(sig); m != nil {
+		return m.hist
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds))}
+	f.metrics = append(f.metrics, &metric{labels: labels, sig: sig, hist: h})
+	return h
+}
+
+// Collect registers a callback producing samples for name at scrape time.
+// typ must be "counter" or "gauge". Used for state that lives outside the
+// registry (server atomics, breaker status tables); the callback must
+// return monotonically non-decreasing values for counters.
+func (r *Registry) Collect(name, help, typ string, fn func() []Sample) {
+	if typ != "counter" && typ != "gauge" {
+		panic(fmt.Sprintf("obs: collector %q has invalid type %q", name, typ))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, typ)
+	f.collect = append(f.collect, fn)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace collects the spans of one query. A nil *Trace is a valid no-op
+// sink — every method is nil-safe — so instrumented code pays only a nil
+// check when tracing is off. Span timings are display-only diagnostics:
+// they never feed back into planning or results.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []*Span
+}
+
+// Span is one timed phase inside a trace.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+	dur   time.Duration
+	attrs []Label
+	done  bool
+}
+
+// SpanJSON is the wire form of a finished span: offsets and durations in
+// microseconds relative to the trace start.
+type SpanJSON struct {
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// NewTrace starts an empty trace anchored at the current time.
+func NewTrace() *Trace {
+	return &Trace{start: Now()}
+}
+
+// Start opens a span. The returned span must be closed with End; spans
+// left open are exported with the duration they had accumulated at
+// export time.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Label{key, value})
+	s.tr.mu.Unlock()
+}
+
+// End closes the span; second and later calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.dur = Since(s.start)
+	}
+	s.tr.mu.Unlock()
+}
+
+// Spans exports the trace in span-start order.
+func (t *Trace) Spans() []SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanJSON, len(t.spans))
+	for i, s := range t.spans {
+		dur := s.dur
+		if !s.done {
+			dur = Since(s.start)
+		}
+		j := SpanJSON{
+			Name:    s.name,
+			StartUS: s.start.Sub(t.start).Microseconds(),
+			DurUS:   dur.Microseconds(),
+		}
+		if len(s.attrs) > 0 {
+			j.Attrs = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				j.Attrs[a.Name] = a.Value
+			}
+		}
+		out[i] = j
+	}
+	return out
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying t; instrumented layers pick it up
+// via FromContext.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil (a valid no-op
+// trace) when none is attached.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -45,7 +45,36 @@ func nodeLine(n *Node) string {
 		b.WriteString(est)
 		b.WriteString(")")
 	}
+	if n.Actual != nil {
+		b.WriteString("  (actual ")
+		b.WriteString(actuals(n.Actual))
+		b.WriteString(")")
+	}
 	return b.String()
+}
+
+// actuals renders the measured counts of an EXPLAIN ANALYZE node: rows
+// always, every other count only when non-zero, the wall time last. The
+// count fields are deterministic at any parallelism; only the time= part
+// varies run to run.
+func actuals(a *Actual) string {
+	parts := []string{fmt.Sprintf("rows=%d", a.Rows)}
+	add := func(key string, v int) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", key, v))
+		}
+	}
+	add("groups", a.Groups)
+	add("calls", a.Calls)
+	add("hits", a.CacheHits)
+	add("misses", a.CacheMisses)
+	add("retries", a.Retries)
+	add("denied", a.Denied)
+	add("failed", a.Failed)
+	if a.ElapsedNS > 0 {
+		parts = append(parts, fmt.Sprintf("time=%.3fms", float64(a.ElapsedNS)/1e6))
+	}
+	return strings.Join(parts, " ")
 }
 
 func estimates(n *Node) string {

@@ -90,6 +90,50 @@ type Node struct {
 	CostIsBound bool
 	// Detail holds extra display attributes.
 	Detail []Attr
+	// Actual holds the measured execution counts of the node (EXPLAIN
+	// ANALYZE); nil on plain EXPLAIN and on display-only nodes.
+	Actual *Actual
+}
+
+// Actual is what one physical operator measurably did during execution.
+// Every count field is derived from deterministic engine counters and is
+// bit-identical at any parallelism setting; ElapsedNS is wall-clock and
+// display-only — determinism comparisons must zero it first (ZeroTimings).
+type Actual struct {
+	// Rows the operator produced (result rows, sampled rows for sampling
+	// operators, surviving rows for filters).
+	Rows int
+	// Groups the operator resolved (grouping operators only).
+	Groups int
+	// Calls is the delta of charged UDF invocations across the statement's
+	// predicates while this operator ran; CacheHits/CacheMisses split the
+	// cross-query cache traffic the same way.
+	Calls       int
+	CacheHits   int
+	CacheMisses int
+	// Retries, Denied and Failed are the resilience deltas: extra attempts,
+	// rows denied by an open circuit breaker, and rows whose invocation
+	// ultimately failed.
+	Retries int
+	Denied  int
+	Failed  int
+	// ElapsedNS is the operator's wall time (children excluded). Display
+	// only: excluded from the determinism contract.
+	ElapsedNS int64
+}
+
+// ZeroTimings clears every wall-clock field in the tree, leaving only the
+// deterministic count fields — the form determinism tests compare.
+func ZeroTimings(n *Node) {
+	if n == nil {
+		return
+	}
+	if n.Actual != nil {
+		n.Actual.ElapsedNS = 0
+	}
+	for _, c := range n.Children {
+		ZeroTimings(c)
+	}
 }
 
 // Child returns the single child of a pipeline node (nil when the node has

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -159,14 +160,17 @@ func TestDoCallTimeoutClassifiedRetryable(t *testing.T) {
 		CallTimeout: 5 * time.Millisecond,
 		Sleep:       func(context.Context, time.Duration) error { return nil },
 	}
-	calls := 0
+	// Atomic: the body runs on the call-timeout watchdog's goroutine, which
+	// Do abandons when the deadline fires — the final read here has no
+	// happens-before edge with the increment.
+	var calls atomic.Int32
 	_, attempts, err := Do(context.Background(), p, 1, func(ctx context.Context) (bool, error) {
-		calls++
+		calls.Add(1)
 		<-ctx.Done() // body honors its per-attempt deadline
 		return false, ctx.Err()
 	})
-	if attempts != 2 || calls != 2 {
-		t.Errorf("attempts=%d calls=%d, want the timeout retried once", attempts, calls)
+	if attempts != 2 || calls.Load() != 2 {
+		t.Errorf("attempts=%d calls=%d, want the timeout retried once", attempts, calls.Load())
 	}
 	if Classify(err) != Timeout {
 		t.Errorf("err = %v, want a typed timeout", err)

@@ -17,10 +17,13 @@ type JoinSpec struct {
 // Statement is a parsed query: the engine's logical query plus the
 // optional join clause. Explain marks an EXPLAIN-prefixed statement — the
 // caller should plan (and render) the query instead of executing it.
+// Analyze marks EXPLAIN ANALYZE: the caller should EXECUTE the query and
+// render the plan annotated with measured per-operator counts.
 type Statement struct {
 	Query   engine.Query
 	Join    *JoinSpec
 	Explain bool
+	Analyze bool
 }
 
 // SelectJoin assembles the engine's select-join form; valid only when a
@@ -54,16 +57,21 @@ func Parse(input string) (*Statement, error) {
 		return nil, err
 	}
 	p := &parser{input: input, toks: toks}
-	explain := false
+	explain, analyze := false, false
 	if isKeyword(p.peek(), "EXPLAIN") {
 		p.next()
 		explain = true
+		if isKeyword(p.peek(), "ANALYZE") {
+			p.next()
+			analyze = true
+		}
 	}
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
 	stmt.Explain = explain
+	stmt.Analyze = analyze
 	// Optional trailing semicolon.
 	if p.peek().kind == tokSymbol && p.peek().text == ";" {
 		p.next()

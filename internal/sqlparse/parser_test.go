@@ -302,6 +302,37 @@ func TestParseExplain(t *testing.T) {
 	}
 }
 
+func TestParseExplainAnalyze(t *testing.T) {
+	stmt, err := Parse("EXPLAIN ANALYZE SELECT * FROM t WHERE f(x) = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.Explain || !stmt.Analyze {
+		t.Fatalf("parsed %+v, want Explain and Analyze set", stmt)
+	}
+	stmt, err = Parse("explain analyze select * from t where f(x) = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.Analyze {
+		t.Fatal("lowercase explain analyze not recognized")
+	}
+	// ANALYZE is only a keyword directly after EXPLAIN.
+	stmt, err = Parse("SELECT * FROM analyze WHERE f(x) = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Analyze || stmt.Query.Table != "analyze" {
+		t.Fatalf("parsed %+v, want plain select from table 'analyze'", stmt)
+	}
+	if _, err := Parse("ANALYZE SELECT * FROM t WHERE f(x) = 1"); err == nil {
+		t.Fatal("bare ANALYZE accepted")
+	}
+	if _, err := Parse("EXPLAIN ANALYZE"); err == nil {
+		t.Fatal("bare EXPLAIN ANALYZE accepted")
+	}
+}
+
 func TestParseErrorPositions(t *testing.T) {
 	var perr *Error
 	_, err := Parse("SELECT * FROM t WHERE f(x) @ 1")

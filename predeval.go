@@ -46,6 +46,8 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/resilience"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
@@ -294,6 +296,7 @@ type Rows struct {
 	cells [][]string
 	ids   []int
 	stats Stats
+	plan  []string
 }
 
 // Columns returns the projected column names.
@@ -312,15 +315,34 @@ func (r *Rows) RowIDs() []int { return r.ids }
 // Stats returns the execution statistics.
 func (r *Rows) Stats() Stats { return r.stats }
 
+// Plan returns the annotated EXPLAIN ANALYZE plan (one operator per
+// line), when the query ran with analysis on — via the EXPLAIN ANALYZE
+// keyword or QueryOptions.Analyze. Nil otherwise.
+func (r *Rows) Plan() []string { return r.plan }
+
 // Explain parses a statement and returns its physical operator tree as
 // EXPLAIN text (one operator per line, with estimated costs and the chosen
 // correlated column where known) without executing anything. The EXPLAIN
 // keyword is optional — Explain("SELECT ...") and Explain("EXPLAIN
-// SELECT ...") render the same plan.
+// SELECT ...") render the same plan. An EXPLAIN ANALYZE statement is the
+// exception: it EXECUTES the query (UDFs run, caches fill) and returns the
+// plan annotated with measured per-operator counts.
+//
+//predlint:allow ctxflow — pre-context compatibility wrapper; cancellable callers use ExplainContext
 func (db *DB) Explain(sql string) (string, error) {
+	return db.ExplainContext(context.Background(), sql)
+}
+
+// ExplainContext is Explain honoring a context (which matters for EXPLAIN
+// ANALYZE, where the query actually executes).
+func (db *DB) ExplainContext(ctx context.Context, sql string) (string, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return "", err
+	}
+	if stmt.Analyze {
+		_, text, err := db.executeStatement(ctx, stmt, true)
+		return text, err
 	}
 	return db.explainStatement(stmt)
 }
@@ -352,11 +374,19 @@ type QueryOptions struct {
 	// OnFailure overrides the DB's failure policy for this query: "fail",
 	// "skip" or "degrade" ("" keeps the DB default). See SetFailurePolicy.
 	OnFailure string
+	// Analyze turns on EXPLAIN ANALYZE instrumentation without changing
+	// what the query returns: the result rows come back as usual, and the
+	// annotated plan is available from Rows.Plan(). (An EXPLAIN ANALYZE
+	// statement instead returns the plan as the result set, like EXPLAIN.)
+	Analyze bool
 }
 
 // QueryContextOptions is QueryContext with per-query options.
 func (db *DB) QueryContextOptions(ctx context.Context, sql string, opts QueryOptions) (*Rows, error) {
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("parse")
 	stmt, err := sqlparse.Parse(sql)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -367,51 +397,57 @@ func (db *DB) QueryContextOptions(ctx context.Context, sql string, opts QueryOpt
 		}
 		stmt.Query.OnFailure = policy
 	}
-	if stmt.Explain {
+	if stmt.Explain && !stmt.Analyze {
 		text, err := db.explainStatement(stmt)
 		if err != nil {
 			return nil, err
 		}
 		return planRows(text), nil
 	}
-	var res *engine.Result
-	if stmt.Join != nil {
-		sj, err := stmt.SelectJoin()
-		if err != nil {
-			return nil, err
-		}
-		res, err = db.eng.ExecuteSelectJoinContext(ctx, sj)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		res, err = db.eng.ExecuteContext(ctx, stmt.Query)
-		if err != nil {
-			return nil, err
-		}
+	analyze := stmt.Analyze || opts.Analyze
+	res, planText, err := db.executeStatement(ctx, stmt, analyze)
+	if err != nil {
+		return nil, err
 	}
+	stats := Stats{
+		Evaluations:         res.Stats.Evaluations,
+		Retrievals:          res.Stats.Retrievals,
+		Cost:                res.Stats.Cost,
+		ChosenColumn:        res.Stats.ChosenColumn,
+		Sampled:             res.Stats.Sampled,
+		Exact:               res.Stats.Exact,
+		AchievedRecallBound: res.Stats.AchievedRecallBound,
+		CacheHits:           res.Stats.CacheHits,
+		CacheMisses:         res.Stats.CacheMisses,
+		FailedRows:          res.Stats.FailedRows,
+		Retries:             res.Stats.Retries,
+		BreakerTrips:        res.Stats.BreakerTrips,
+		Degraded:            res.Stats.Degraded,
+	}
+	var planLines []string
+	if analyze {
+		planLines = strings.Split(strings.TrimRight(planText, "\n"), "\n")
+	}
+	if stmt.Analyze {
+		// EXPLAIN ANALYZE returns the annotated plan as the result set
+		// (like EXPLAIN — and like Postgres, the query's own output is
+		// discarded); Stats still reflect the real execution.
+		rows := planRows(planText)
+		rows.stats = stats
+		rows.plan = planLines
+		return rows, nil
+	}
+	sp = tr.Start("materialize")
 	out, err := db.eng.Materialize(stmt.Query, res)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	rows := &Rows{
-		cols: out.Schema().Names(),
-		ids:  res.Rows,
-		stats: Stats{
-			Evaluations:         res.Stats.Evaluations,
-			Retrievals:          res.Stats.Retrievals,
-			Cost:                res.Stats.Cost,
-			ChosenColumn:        res.Stats.ChosenColumn,
-			Sampled:             res.Stats.Sampled,
-			Exact:               res.Stats.Exact,
-			AchievedRecallBound: res.Stats.AchievedRecallBound,
-			CacheHits:           res.Stats.CacheHits,
-			CacheMisses:         res.Stats.CacheMisses,
-			FailedRows:          res.Stats.FailedRows,
-			Retries:             res.Stats.Retries,
-			BreakerTrips:        res.Stats.BreakerTrips,
-			Degraded:            res.Stats.Degraded,
-		},
+		cols:  out.Schema().Names(),
+		ids:   res.Rows,
+		stats: stats,
+		plan:  planLines,
 	}
 	rows.cells = make([][]string, out.NumRows())
 	for i := 0; i < out.NumRows(); i++ {
@@ -422,6 +458,35 @@ func (db *DB) QueryContextOptions(ctx context.Context, sql string, opts QueryOpt
 		rows.cells[i] = cells
 	}
 	return rows, nil
+}
+
+// executeStatement runs an already-parsed statement; with analyze set the
+// executed plan comes back rendered with per-operator measured counts.
+func (db *DB) executeStatement(ctx context.Context, stmt *sqlparse.Statement, analyze bool) (*engine.Result, string, error) {
+	if stmt.Join != nil {
+		sj, err := stmt.SelectJoin()
+		if err != nil {
+			return nil, "", err
+		}
+		if analyze {
+			root, res, err := db.eng.ExplainAnalyzeSelectJoinContext(ctx, sj)
+			if err != nil {
+				return nil, "", err
+			}
+			return res, plan.Format(root), nil
+		}
+		res, err := db.eng.ExecuteSelectJoinContext(ctx, sj)
+		return res, "", err
+	}
+	if analyze {
+		root, res, err := db.eng.ExplainAnalyzeContext(ctx, stmt.Query)
+		if err != nil {
+			return nil, "", err
+		}
+		return res, plan.Format(root), nil
+	}
+	res, err := db.eng.ExecuteContext(ctx, stmt.Query)
+	return res, "", err
 }
 
 // explainStatement renders the plan for an already-parsed statement.
