@@ -346,6 +346,39 @@ func BenchmarkParallelApprox(b *testing.B) {
 	}
 }
 
+// ------------------------------------------------------------ streaming
+
+// BenchmarkStreamFirstRow measures time-to-first-row under the batch
+// streaming executor: the emit callback returns ErrStopStream on the
+// first batch, so ns/op approximates the latency a predsqld
+// "stream":true client waits before its first NDJSON line. With the
+// slow UDF (~100µs/call) and batch size 64, the first batch costs ~64
+// evaluations instead of the full scan BenchmarkParallelExact pays
+// before returning anything. A fresh DB per iteration keeps the
+// verdict cache cold.
+func BenchmarkStreamFirstRow(b *testing.B) {
+	const n = 2000
+	const sql = `SELECT id FROM loans WHERE slow(id) = 1`
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := benchSlowDB(b, n, 4)
+		db.SetBatchSize(64)
+		b.StartTimer()
+		got := 0
+		res, err := db.QueryStream(context.Background(), sql, predeval.StreamOptions{},
+			func(ids []int, _ [][]string) error {
+				got += len(ids)
+				return predeval.ErrStopStream
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got == 0 || res.RowCount != got {
+			b.Fatalf("streamed %d rows, result says %d", got, res.RowCount)
+		}
+	}
+}
+
 // ------------------------------------------------------ durable catalog
 
 // BenchmarkCatalogWarmRestart measures the durability subsystem's payoff:

@@ -9,12 +9,18 @@
 //
 // Benchmark names are given without the "Benchmark" prefix (matching the
 // snapshot's name field); a name also matches its sub-benchmarks
-// ("ParallelExact" covers "ParallelExact/parallelism=8"). When several
+// ("ParallelExact" covers "ParallelExact/parallelism=8"). A name may
+// carry a per-benchmark threshold as "Name:0.5", overriding -max-regress
+// for that benchmark alone — the escape hatch for I/O-bound benchmarks
+// (fsync-heavy catalog work) whose wall time legitimately swings more
+// across runner machines than a CPU-bound benchmark's. When several
 // entries match one name (sub-benchmarks, repeat counts, GOMAXPROCS
 // variants), the best (minimum) metric value wins — the standard
 // noise-resistant reading of a benchmark. A watched benchmark missing
-// from either snapshot is an error: a gate that silently stops measuring
-// is worse than a red build.
+// from the CURRENT snapshot is an error: a gate that silently stops
+// measuring is worse than a red build. Missing from the BASELINE only is
+// fine — that is how a freshly added benchmark enters the gate, with
+// nothing to diff against yet.
 //
 // Exit status: 0 ok, 1 regression (or missing benchmark), 2 usage.
 package main
@@ -26,6 +32,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -73,12 +80,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	failed := false
 	for _, name := range names {
+		limit := *maxRegress
+		if base, spec, ok := strings.Cut(name, ":"); ok {
+			v, err := strconv.ParseFloat(spec, 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchdiff: bad per-benchmark threshold %q: %v\n", name, err)
+				return 2
+			}
+			name, limit = base, v
+		}
 		b, okB := best(baseSnap, name, *metric)
 		c, okC := best(curSnap, name, *metric)
 		switch {
-		case !okB:
-			fmt.Fprintf(stderr, "benchdiff: %s: no %s in baseline %s (rev %s)\n", name, *metric, *base, baseSnap.Rev)
-			failed = true
+		case !okB && okC:
+			// A benchmark added since the baseline: nothing to diff against,
+			// it becomes gated once this snapshot is someone's baseline.
+			fmt.Fprintf(stdout, "benchdiff: %-24s %s %12s → %12.4g  new in %s; nothing to diff\n",
+				name, *metric, "-", c, curSnap.Rev)
 		case !okC:
 			fmt.Fprintf(stderr, "benchdiff: %s: no %s in current %s (rev %s)\n", name, *metric, *cur, curSnap.Rev)
 			failed = true
@@ -90,8 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				rel = 0
 			}
 			verdict := "ok"
-			if rel > *maxRegress {
-				verdict = fmt.Sprintf("REGRESSION (> +%.0f%%)", *maxRegress*100)
+			if rel > limit {
+				verdict = fmt.Sprintf("REGRESSION (> +%.0f%%)", limit*100)
 				failed = true
 			}
 			fmt.Fprintf(stdout, "benchdiff: %-24s %s %12.4g → %12.4g  (%+.1f%%)  %s\n",

@@ -91,6 +91,53 @@ func TestBenchdiffMissingBenchmark(t *testing.T) {
 	}
 }
 
+func TestBenchdiffPerBenchmarkThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", baseSnap)
+	cur := writeSnap(t, dir, "cur.json", `{"rev":"new","benchmarks":[
+		{"name":"ParallelExact","metrics":{"ns/op":1100}},
+		{"name":"CatalogWarmRestart","metrics":{"ns/op":900}}
+	]}`)
+	// CatalogWarmRestart is +80%: over the default 25% gate, under its own
+	// 100% override. ParallelExact (+10%) stays under the default.
+	code, out, errb := runDiff(t, "-base", base, "-cur", cur,
+		"ParallelExact", "CatalogWarmRestart:1.0")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 with per-benchmark threshold\n%s%s", code, out, errb)
+	}
+	// Without the override the same diff must fail.
+	code, out, _ = runDiff(t, "-base", base, "-cur", cur,
+		"ParallelExact", "CatalogWarmRestart")
+	if code != 1 || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("exit %d (%q), want default-threshold failure", code, out)
+	}
+	// A malformed threshold is a usage error, not a silent pass.
+	if code, _, _ := runDiff(t, "-base", base, "-cur", cur, "CatalogWarmRestart:fast"); code != 2 {
+		t.Fatalf("exit %d, want 2 for malformed threshold", code)
+	}
+}
+
+func TestBenchdiffNewBenchmarkNotInBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", baseSnap)
+	cur := writeSnap(t, dir, "cur.json", `{"rev":"new","benchmarks":[
+		{"name":"ParallelExact","metrics":{"ns/op":900}},
+		{"name":"CatalogWarmRestart","metrics":{"ns/op":400}},
+		{"name":"BatchScanFilter1M/fused","metrics":{"ns/op":100}}
+	]}`)
+	// BatchScanFilter1M is absent from the baseline: a freshly added
+	// benchmark must pass the gate (it has nothing to diff against yet),
+	// not fail it.
+	code, out, errb := runDiff(t, "-base", base, "-cur", cur,
+		"ParallelExact", "CatalogWarmRestart", "BatchScanFilter1M")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 for a benchmark new in current\n%s%s", code, out, errb)
+	}
+	if !strings.Contains(out, "nothing to diff") {
+		t.Fatalf("output %q, want the new-benchmark note", out)
+	}
+}
+
 func TestBenchdiffUsage(t *testing.T) {
 	if code, _, _ := runDiff(t, "-base", "x.json"); code != 2 {
 		t.Fatalf("missing args: exit %d, want 2", code)

@@ -12,7 +12,10 @@
 // correlated column) and the first rows of the result. With -analyze the
 // query runs under EXPLAIN ANALYZE instrumentation and the annotated
 // operator tree (measured rows, UDF calls, cache traffic, retries and
-// per-operator wall time) is printed after the result.
+// per-operator wall time) is printed after the result. With -stream the
+// rows print incrementally as execution produces them, and -limit stops
+// evaluation early instead of merely truncating the printout; the stats
+// follow the rows and cover only the work performed.
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		limit   = flag.Int("limit", 10, "max rows to print")
 		analyze = flag.Bool("analyze", false, "run under EXPLAIN ANALYZE and print the annotated plan after the result")
+		stream  = flag.Bool("stream", false, "stream rows as produced (-limit stops evaluation early); stats print after the rows")
 	)
 	flag.Var(&tables, "table", "name=path CSV table (repeatable)")
 	flag.Parse()
@@ -69,6 +73,14 @@ func main() {
 		fatal(err)
 	}
 
+	if *stream {
+		if *analyze {
+			fatal(fmt.Errorf("-stream and -analyze are mutually exclusive"))
+		}
+		runStream(db, *sqlStr, *limit)
+		return
+	}
+
 	rows, err := db.QueryContextOptions(context.Background(), *sqlStr,
 		predeval.QueryOptions{Analyze: *analyze})
 	if err != nil {
@@ -95,6 +107,40 @@ func main() {
 	if plan := rows.Plan(); len(plan) > 0 {
 		fmt.Println()
 		fmt.Println(strings.Join(plan, "\n"))
+	}
+}
+
+// runStream prints rows as the engine produces them: columns first, then
+// one CSV line per row. With a limit, evaluation stops once the limit is
+// reached — unevaluated rows are never paid for — and the trailing stats
+// cover only the work performed.
+func runStream(db *predeval.DB, sqlStr string, limit int) {
+	res, err := db.QueryStream(context.Background(), sqlStr,
+		predeval.StreamOptions{Limit: limit},
+		func(_ []int, cells [][]string) error {
+			for _, row := range cells {
+				fmt.Println(strings.Join(row, ","))
+			}
+			return nil
+		})
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("columns: %s\n", strings.Join(res.Columns, ","))
+	fmt.Printf("rows: %d", res.RowCount)
+	if res.Truncated {
+		fmt.Printf(" (stopped at limit)")
+	}
+	fmt.Printf("\nUDF calls: %d\nretrievals: %d\nsampled: %d\ncost: %.0f\n",
+		st.Evaluations, st.Retrievals, st.Sampled, st.Cost)
+	if st.ChosenColumn != "" {
+		fmt.Printf("correlated column: %s\n", st.ChosenColumn)
+	}
+	if st.Exact {
+		fmt.Println("mode: exact")
+	} else {
+		fmt.Println("mode: approximate")
 	}
 }
 

@@ -28,6 +28,13 @@
 //	               admission, 504 if the deadline expired mid-query, 400 on
 //	               bad input — parse errors include the offending token's
 //	               position as {"error": ..., "line": l, "col": c}.
+//	               With "stream": true the response is chunked NDJSON: one
+//	               {"row_id": ..., "row": [...]} object per line, flushed
+//	               batch by batch as execution produces rows, then a
+//	               terminal {"done": true, ...} line with columns,
+//	               row_count, truncated and the full stats. "limit" then
+//	               stops production early (unevaluated rows are never paid
+//	               for) instead of merely bounding the payload.
 //	GET  /tables   registered tables: name, row count, column names/types.
 //	GET  /stats    server counters (served/failed/timeouts/…) + tables.
 //	GET  /metrics  Prometheus text exposition: query-latency and per-UDF
@@ -109,6 +116,7 @@ func main() {
 		udf           = flag.String("udf", "good_credit", "UDF name to register")
 		seed          = flag.Uint64("seed", 1, "random seed")
 		parallelism   = flag.Int("parallelism", 0, "per-query UDF worker cap (0 = GOMAXPROCS)")
+		batchSize     = flag.Int("batch-size", 0, "rows per execution batch (0 = engine default 1024); smaller lowers streamed first-row latency")
 		maxConcurrent = flag.Int("max-concurrent", 8, "queries admitted concurrently; excess queue")
 		timeout       = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 		maxTimeout    = flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested timeouts")
@@ -143,6 +151,9 @@ func main() {
 	db := predeval.Open(*seed)
 	if *parallelism > 0 {
 		db.SetParallelism(*parallelism)
+	}
+	if *batchSize > 0 {
+		db.SetBatchSize(*batchSize)
 	}
 	for _, spec := range tables {
 		name, path, ok := strings.Cut(spec, "=")
@@ -447,9 +458,23 @@ type queryRequest struct {
 	// (clamped to -max-timeout). 0 means the default.
 	TimeoutMS int64 `json:"timeout_ms"`
 	// Limit caps the rows and row_ids serialized into the response
-	// (0 = all); row_count always reports the full result size. The query
-	// still executes fully; this only bounds the payload.
+	// (0 = all); row_count always reports the full result size. For a
+	// buffered response the query still executes fully — the limit only
+	// bounds the payload. For a streamed response ("stream": true) the
+	// limit instead STOPS PRODUCTION: once that many rows are written the
+	// upstream evaluation is cancelled, so unevaluated rows are never paid
+	// for and stats cover only the work performed.
 	Limit int `json:"limit"`
+	// Stream switches the response to chunked NDJSON: one
+	// {"row_id": ..., "row": [...]} object per result row, written and
+	// flushed batch by batch as execution produces them, then a terminal
+	// {"done": true, ...} line carrying columns, row_count, truncated and
+	// the full execution stats. For streaming plan shapes (exact
+	// selections, conjunction waves) the first rows arrive while later
+	// rows are still unevaluated. An error after rows have been written is
+	// reported as a final {"error": ...} line. Incompatible with "explain"
+	// and "analyze" (400).
+	Stream bool `json:"stream"`
 	// Explain plans the statement instead of executing it: the response is
 	// the physical operator tree (with estimated costs and the chosen
 	// correlated column where known) and no UDF is invoked. Equivalent to
@@ -500,6 +525,44 @@ type queryResponse struct {
 	ElapsedMS float64    `json:"elapsed_ms"`
 	// Plan is the EXPLAIN ANALYZE annotated operator tree ("analyze": true).
 	Plan []string `json:"plan,omitempty"`
+	// Trace is the query's span list ("trace": true).
+	Trace []obs.SpanJSON `json:"trace,omitempty"`
+}
+
+// wireStats converts execution stats to the wire mirror.
+func wireStats(st predeval.Stats) queryStats {
+	return queryStats{
+		Evaluations:         st.Evaluations,
+		Retrievals:          st.Retrievals,
+		Sampled:             st.Sampled,
+		Cost:                st.Cost,
+		ChosenColumn:        st.ChosenColumn,
+		Exact:               st.Exact,
+		AchievedRecallBound: st.AchievedRecallBound,
+		CacheHits:           st.CacheHits,
+		CacheMisses:         st.CacheMisses,
+		FailedRows:          st.FailedRows,
+		Retries:             st.Retries,
+		BreakerTrips:        st.BreakerTrips,
+	}
+}
+
+// streamRow is one NDJSON data line of a streamed query response.
+type streamRow struct {
+	RowID int      `json:"row_id"`
+	Row   []string `json:"row"`
+}
+
+// streamDone is the terminal NDJSON line of a streamed query response.
+type streamDone struct {
+	Done      bool     `json:"done"`
+	Columns   []string `json:"columns"`
+	RowCount  int      `json:"row_count"`
+	Truncated bool     `json:"truncated"`
+	// Degraded marks a partial result under the "degrade" failure policy.
+	Degraded  bool       `json:"degraded,omitempty"`
+	Stats     queryStats `json:"stats"`
+	ElapsedMS float64    `json:"elapsed_ms"`
 	// Trace is the query's span list ("trace": true).
 	Trace []obs.SpanJSON `json:"trace,omitempty"`
 }
@@ -567,6 +630,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if strings.TrimSpace(req.SQL) == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing sql"})
+		return
+	}
+	if req.Stream {
+		if req.Explain || req.Analyze || isExplainSQL(req.SQL) {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "explain/analyze cannot be streamed"})
+			return
+		}
+		s.handleStreamQuery(w, r, req)
 		return
 	}
 	if req.Explain || isExplainSQL(req.SQL) {
@@ -686,20 +758,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	st := rows.Stats()
 	out.Degraded = st.Degraded
-	out.Stats = queryStats{
-		Evaluations:         st.Evaluations,
-		Retrievals:          st.Retrievals,
-		Sampled:             st.Sampled,
-		Cost:                st.Cost,
-		ChosenColumn:        st.ChosenColumn,
-		Exact:               st.Exact,
-		AchievedRecallBound: st.AchievedRecallBound,
-		CacheHits:           st.CacheHits,
-		CacheMisses:         st.CacheMisses,
-		FailedRows:          st.FailedRows,
-		Retries:             st.Retries,
-		BreakerTrips:        st.BreakerTrips,
-	}
+	out.Stats = wireStats(st)
 	s.failedRows.Add(int64(st.FailedRows))
 	s.retries.Add(int64(st.Retries))
 	s.breakerTrips.Add(int64(st.BreakerTrips))
@@ -708,6 +767,131 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStreamQuery answers a "stream": true request with chunked NDJSON:
+// row lines are written and flushed as execution emits batches, so the
+// first rows reach the client while later rows are still being evaluated.
+// The admission slot is held for the whole stream — unlike the buffered
+// path, production and delivery are interleaved by design. Errors before
+// the first row use the normal status-code taxonomy; once rows are out the
+// status is already 200, so a failure becomes a final {"error": ...} line.
+func (s *server) handleStreamQuery(w http.ResponseWriter, r *http.Request, req queryRequest) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var tr *obs.Trace
+	if req.Trace || s.traceLog != nil {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+
+	s.waiting.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.waiting.Add(-1)
+	case <-ctx.Done():
+		s.waiting.Add(-1)
+		if errors.Is(ctx.Err(), context.Canceled) {
+			s.disconnects.Add(1)
+			writeJSON(w, statusClientClosedRequest, errorResponse{Error: ctx.Err().Error()})
+			return
+		}
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusRequestTimeout,
+			errorResponse{Error: "timed out waiting for an execution slot"})
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	headerSent := false
+	sendHeader := func() {
+		if !headerSent {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			headerSent = true
+		}
+	}
+	emit := func(ids []int, cells [][]string) error {
+		sendHeader()
+		for i, id := range ids {
+			if err := enc.Encode(streamRow{RowID: id, Row: cells[i]}); err != nil {
+				return err
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	started := time.Now()
+	res, err := s.db.QueryStream(ctx, req.SQL,
+		predeval.StreamOptions{OnFailure: req.OnFailure, Limit: req.Limit}, emit)
+	elapsed := time.Since(started)
+	s.queryDur.Observe(elapsed.Seconds())
+	if tr != nil {
+		s.traceLog.log(req.SQL, tr.Spans())
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Add(1)
+			status = http.StatusGatewayTimeout
+			err = fmt.Errorf("query exceeded its %v deadline", timeout)
+		case errors.Is(err, context.Canceled):
+			s.disconnects.Add(1)
+			status = statusClientClosedRequest
+		default:
+			s.failed.Add(1)
+		}
+		if !headerSent {
+			writeJSON(w, status, errorBody(err))
+			return
+		}
+		// Rows are already out on a 200; the error becomes the final line.
+		_ = enc.Encode(errorBody(err))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return
+	}
+	sendHeader() // a zero-row result still answers NDJSON
+	st := res.Stats
+	done := streamDone{
+		Done:      true,
+		Columns:   res.Columns,
+		RowCount:  res.RowCount,
+		Truncated: res.Truncated,
+		Degraded:  st.Degraded,
+		Stats:     wireStats(st),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+	}
+	if req.Trace && tr != nil {
+		done.Trace = tr.Spans()
+	}
+	_ = enc.Encode(done)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.failedRows.Add(int64(st.FailedRows))
+	s.retries.Add(int64(st.Retries))
+	s.breakerTrips.Add(int64(st.BreakerTrips))
+	if st.Degraded {
+		s.degraded.Add(1)
+	}
+	s.served.Add(1)
 }
 
 // tableColumn is one column of a GET /tables entry.

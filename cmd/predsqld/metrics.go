@@ -46,6 +46,26 @@ func (s *server) registerMetrics() {
 		"Admission-control width (-max-concurrent).",
 		func() float64 { return float64(s.cfg.MaxConcurrent) })
 
+	// Batch execution observability, read live off the engine's atomics.
+	reg.GaugeFunc("predsqld_batches_in_flight",
+		"Result batches currently being processed downstream of the engine.",
+		func() float64 {
+			inFlight, _, _ := s.db.Engine().BatchCounters()
+			return float64(inFlight)
+		})
+	reg.GaugeFunc("predsqld_peak_batch_rows",
+		"Largest result batch (in rows) any query has emitted.",
+		func() float64 {
+			_, peak, _ := s.db.Engine().BatchCounters()
+			return float64(peak)
+		})
+	reg.Collect("predsqld_batches_total",
+		"Result batches emitted by the engine.", "counter",
+		func() []obs.Sample {
+			_, _, total := s.db.Engine().BatchCounters()
+			return []obs.Sample{{Value: float64(total)}}
+		})
+
 	reg.Collect("predsqld_udf_retries_total",
 		"UDF retry attempts summed over all queries.", "counter",
 		func() []obs.Sample { return []obs.Sample{{Value: float64(s.retries.Load())}} })

@@ -185,37 +185,61 @@ type ConjWavesResult struct {
 	Evaluated []int
 }
 
-// ExecuteConjunctionWavesParallelCtx runs a conjunction over rows as
-// short-circuit waves: predicates are visited in the given order, each wave
-// evaluates its predicate only on the survivors of the previous waves, and
-// survivors of the final wave are the output. known[j], when non-nil, maps
-// row → already-paid outcome of predicate j (e.g. from sampling): known
-// rows are resolved without evaluation. Each wave fans out across up to
-// `parallelism` workers; survivor lists are maintained in input order, so
-// output and counts are identical at every parallelism level. A cancel
-// returns ctx.Err() and an empty result.
-func ExecuteConjunctionWavesParallelCtx(ctx context.Context, rows []int, order []int, known []map[int]bool, udfs []UDF, parallelism int) (ConjWavesResult, error) {
+// ConjWaveRunner executes short-circuit waves over row batches: each Run
+// call pushes one batch of rows through every predicate (in the configured
+// order) and returns the batch's survivors in input order, while the
+// per-predicate evaluation counts and the retrieved-row total accumulate
+// across batches. Batching does not change any outcome: a wave evaluates a
+// predicate on exactly the rows that survived the previous predicates, and
+// rows never interact across waves, so splitting the input into batches
+// yields the same calls, the same verdicts and the same survivors as one
+// monolithic run — the engine's batch executor relies on this. Not safe for
+// concurrent Run calls; parallelism lives inside a wave's pool fan-out.
+type ConjWaveRunner struct {
+	order     []int
+	known     []map[int]bool
+	udfs      []UDF
+	pool      *exec.Pool
+	retrieved map[int]bool
+	res       ConjWavesResult
+}
+
+// NewConjWaveRunner validates the predicate order and returns a runner.
+// known[j], when non-nil, maps row → already-paid outcome of predicate j
+// (e.g. from sampling): known rows are resolved without evaluation.
+func NewConjWaveRunner(order []int, known []map[int]bool, udfs []UDF, parallelism int) (*ConjWaveRunner, error) {
 	if len(order) != len(udfs) {
-		return ConjWavesResult{}, fmt.Errorf("core: order covers %d of %d predicates", len(order), len(udfs))
+		return nil, fmt.Errorf("core: order covers %d of %d predicates", len(order), len(udfs))
 	}
 	if known != nil && len(known) != len(udfs) {
-		return ConjWavesResult{}, fmt.Errorf("core: %d known maps for %d predicates", len(known), len(udfs))
+		return nil, fmt.Errorf("core: %d known maps for %d predicates", len(known), len(udfs))
 	}
 	seen := make([]bool, len(udfs))
 	for _, j := range order {
 		if j < 0 || j >= len(udfs) || seen[j] {
-			return ConjWavesResult{}, fmt.Errorf("core: invalid predicate order %v", order)
+			return nil, fmt.Errorf("core: invalid predicate order %v", order)
 		}
 		seen[j] = true
 	}
-	res := ConjWavesResult{Evaluated: make([]int, len(udfs))}
-	pool := exec.NewPool(parallelism)
+	return &ConjWaveRunner{
+		order:     order,
+		known:     known,
+		udfs:      udfs,
+		pool:      exec.NewPool(parallelism),
+		retrieved: make(map[int]bool),
+		res:       ConjWavesResult{Evaluated: make([]int, len(udfs))},
+	}, nil
+}
+
+// Run pushes one batch of rows through the waves and returns its survivors
+// in input order. A cancel returns ctx.Err() with the accumulated counts
+// untouched by the aborted batch's partial work beyond calls already paid.
+func (w *ConjWaveRunner) Run(ctx context.Context, rows []int) ([]int, error) {
 	survivors := rows
-	retrieved := make(map[int]bool, len(rows))
-	for _, j := range order {
+	for _, j := range w.order {
 		var kn map[int]bool
-		if known != nil {
-			kn = known[j]
+		if w.known != nil {
+			kn = w.known[j]
 		}
 		// Plan the wave: resolve known rows, emit slots for the rest so the
 		// merge below rebuilds the survivor list in input order.
@@ -237,15 +261,15 @@ func ExecuteConjunctionWavesParallelCtx(ctx context.Context, rows []int, order [
 		}
 		// Failed resilient evaluations carry verdict false, so failed rows
 		// simply do not survive the wave.
-		verdicts, _, err := EvalRowsResilient(ctx, pool, work, udfs[j])
+		verdicts, _, err := EvalRowsResilient(ctx, w.pool, work, w.udfs[j])
 		if err != nil {
-			return ConjWavesResult{}, err
+			return nil, err
 		}
-		res.Evaluated[j] += len(work)
+		w.res.Evaluated[j] += len(work)
 		for _, row := range work {
-			if !retrieved[row] {
-				retrieved[row] = true
-				res.Retrieved++
+			if !w.retrieved[row] {
+				w.retrieved[row] = true
+				w.res.Retrieved++
 			}
 		}
 		next := make([]int, 0, len(slots))
@@ -256,6 +280,33 @@ func ExecuteConjunctionWavesParallelCtx(ctx context.Context, rows []int, order [
 		}
 		survivors = next
 	}
-	res.Output = survivors
+	return survivors, nil
+}
+
+// Result returns the counts accumulated over every Run so far. Output holds
+// the survivors of all batches in push order.
+func (w *ConjWaveRunner) Result() ConjWavesResult { return w.res }
+
+// ExecuteConjunctionWavesParallelCtx runs a conjunction over rows as
+// short-circuit waves: predicates are visited in the given order, each wave
+// evaluates its predicate only on the survivors of the previous waves, and
+// survivors of the final wave are the output. known[j], when non-nil, maps
+// row → already-paid outcome of predicate j (e.g. from sampling): known
+// rows are resolved without evaluation. Each wave fans out across up to
+// `parallelism` workers; survivor lists are maintained in input order, so
+// output and counts are identical at every parallelism level. A cancel
+// returns ctx.Err() and an empty result. (One-shot wrapper over
+// ConjWaveRunner; the batch executor drives the runner directly.)
+func ExecuteConjunctionWavesParallelCtx(ctx context.Context, rows []int, order []int, known []map[int]bool, udfs []UDF, parallelism int) (ConjWavesResult, error) {
+	w, err := NewConjWaveRunner(order, known, udfs, parallelism)
+	if err != nil {
+		return ConjWavesResult{}, err
+	}
+	out, err := w.Run(ctx, rows)
+	if err != nil {
+		return ConjWavesResult{}, err
+	}
+	res := w.Result()
+	res.Output = out
 	return res, nil
 }

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/plan"
 )
 
 // Conjunctions of expensive predicates. Two shapes exist:
@@ -16,7 +15,8 @@ import (
 //     assume both / evaluate either / evaluate both with short-circuit).
 //     This requires an explicit GROUP ON column, like the paper.
 //
-//   - Every other conjunction runs short-circuit waves (opConjWaves): each
+//   - Every other conjunction runs short-circuit waves (conjWavesOp in
+//     batch.go): each
 //     predicate is evaluated only on the survivors of the ones before it.
 //     Exact queries keep the predicates in query order; approximate N-ary
 //     queries first sample every predicate (opConjSample) and order them
@@ -86,89 +86,5 @@ func (e *Engine) opConjExec(ctx context.Context, st *pipeState) error {
 			CacheMisses:  m1.CacheMisses() + m2.CacheMisses(),
 		},
 	}
-	return nil
-}
-
-// opConjWaves evaluates the conjunction in short-circuit waves over the
-// scan. In greedy mode the predicates run cheapest-first as ordered by the
-// sampled selectivities, and sampled rows are resolved for free; in
-// query-order mode (exact queries) no sampling happened and the predicates
-// run as written.
-func (e *Engine) opConjWaves(ctx context.Context, mode string, st *pipeState) error {
-	rows := universe(st.tbl, st.subset)
-	udfs := make([]core.UDF, len(st.preds))
-	for i, p := range st.preds {
-		udfs[i] = p.meter
-	}
-	order := make([]int, len(st.preds))
-	for i := range order {
-		order[i] = i
-	}
-	var known []map[int]bool
-	sampledRows := 0
-	if mode == plan.ModeGreedyOrder {
-		costs := make([]float64, len(st.preds))
-		for i, p := range st.preds {
-			costs[i] = p.cost
-		}
-		var err error
-		order, err = core.OrderPredicates(costs, st.conjSels)
-		if err != nil {
-			return err
-		}
-		known = make([]map[int]bool, len(st.preds))
-		for j := range known {
-			known[j] = make(map[int]bool)
-		}
-		for _, s := range st.conjSamples {
-			sampledRows += len(s.Results)
-			for row, outs := range s.Results {
-				for j, v := range outs {
-					known[j][row] = v
-				}
-			}
-		}
-	}
-	waves, err := core.ExecuteConjunctionWavesParallelCtx(ctx, rows, order, known, udfs, e.parallelism())
-	if err != nil {
-		return err
-	}
-	for _, p := range st.preds {
-		if err := p.fault.Err(); err != nil {
-			return err
-		}
-	}
-	// Billing is per predicate: each predicate's charged calls pay its own
-	// o_e — the same per-predicate costs the greedy ordering and the
-	// EXPLAIN estimates use. (The §5 two-predicate shape keeps the paper's
-	// single cost model; see opConjExec.)
-	evals := 0
-	evalCost := 0.0
-	hits, misses := 0, 0
-	for _, p := range st.preds {
-		evals += p.meter.Calls()
-		evalCost += float64(p.meter.Calls()) * p.cost
-		hits += p.meter.CacheHits()
-		misses += p.meter.CacheMisses()
-	}
-	stats := Stats{
-		Evaluations:  evals,
-		ChosenColumn: st.chosen,
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		// Every returned row was verified under every predicate, so the
-		// answer is exact even on the sampled (approximate) path — the
-		// accuracy contract is met deterministically and the sampling
-		// spend bought the wave ordering instead.
-		Exact: true,
-	}
-	if st.q.Approx == nil {
-		stats.Retrievals = len(rows)
-	} else {
-		stats.Sampled = sampledRows
-		stats.Retrievals = sampledRows + waves.Retrieved
-	}
-	stats.Cost = float64(stats.Retrievals)*st.cost.Retrieve + evalCost
-	st.res = &Result{Rows: waves.Output, Stats: stats}
 	return nil
 }

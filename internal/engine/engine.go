@@ -63,6 +63,12 @@ type Engine struct {
 	// OnFailure is the default failure policy for queries that do not set
 	// their own ("" means FailOnError). See resilience.go.
 	OnFailure FailurePolicy
+	// BatchSize is the number of rows per execution batch in the Volcano
+	// pipeline (see batch.go); ≤ 0 means DefaultBatchSize. Results are
+	// bit-identical at any setting (breaker-tripping workloads excepted —
+	// fold points move with batch boundaries; see DESIGN.md). Set before
+	// serving queries.
+	BatchSize int
 
 	rng  *stats.RNG
 	seed uint64
@@ -94,6 +100,11 @@ type Engine struct {
 	cacheMisses    atomic.Int64
 	columnMemoHits atomic.Int64
 	seededRows     atomic.Int64
+
+	// Batch execution observability (see BatchCounters).
+	batchesInFlight atomic.Int64
+	peakBatchRows   atomic.Int64
+	batchesTotal    atomic.Int64
 }
 
 // New returns an engine with the paper's default cost model (o_r = 1,
@@ -245,18 +256,20 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 // evaluation, no entry is ever stored partially, and a later run of the
 // same query completes normally. See DESIGN.md, "Cancellation contract".
 func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
-	res, _, err := e.executeStatement(ctx, q, nil, false)
+	res, _, err := e.executeStatement(ctx, q, nil, false, nil)
 	return res, err
 }
 
 // executeStatement is the uniform execution path for every query shape:
 // validate, bind tables and predicates, lower into the physical operator
-// tree, and run it. The former per-shape dispatch branches live on as plan
-// shapes (see planner.go and operators.go). With analyze set, the executed
-// tree comes back with per-operator Actual counts (EXPLAIN ANALYZE); the
-// returned root is nil otherwise. A trace attached to ctx (obs.WithTrace)
-// gets bind/plan/operator spans either way.
-func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoinQuery, analyze bool) (*Result, *plan.Node, error) {
+// tree, and run it as a batch pull pipeline (see batch.go). The former
+// per-shape dispatch branches live on as plan shapes (see planner.go and
+// operators.go). With analyze set, the executed tree comes back with
+// per-operator Actual counts (EXPLAIN ANALYZE); the returned root is nil
+// otherwise. A non-nil sink streams result batches as they are produced
+// instead of materializing Result.Rows. A trace attached to ctx
+// (obs.WithTrace) gets bind/plan/operator spans either way.
+func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoinQuery, analyze bool, sink RowSink) (*Result, *plan.Node, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -301,7 +314,7 @@ func (e *Engine) executeStatement(ctx context.Context, q Query, join *SelectJoin
 		st.rng = e.rng.Split()
 		e.mu.Unlock()
 	}
-	if err := e.runNode(ctx, root, st); err != nil {
+	if err := e.runPipeline(ctx, root, st, sink); err != nil {
 		return nil, nil, err
 	}
 	for _, p := range st.preds {

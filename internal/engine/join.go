@@ -36,7 +36,7 @@ func (e *Engine) ExecuteSelectJoin(q SelectJoinQuery) (*Result, error) {
 // planner pipeline as every other shape: group-resolve → join-group →
 // sample → solve(join-weights) → prob-eval → merge (see operators.go).
 func (e *Engine) ExecuteSelectJoinContext(ctx context.Context, q SelectJoinQuery) (*Result, error) {
-	res, _, err := e.executeStatement(ctx, q.Query, &q, false)
+	res, _, err := e.executeStatement(ctx, q.Query, &q, false, nil)
 	return res, err
 }
 

@@ -4,19 +4,19 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/core"
-	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/resilience"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
 
-// Physical-operator execution. The planner (planner.go + internal/plan)
-// shapes every query into a chain of physical operators; runNode walks the
-// chain bottom-up, each operator reading and extending the shared pipeline
+// Physical-operator state and the blocking operator bodies. The planner
+// (planner.go + internal/plan) shapes every query into a chain of physical
+// operators; the batch pipeline (batch.go) compiles that chain into pull
+// iterators, running each blocking body below during its stage's Open —
+// leaf-first, each operator reading and extending the shared pipeline
 // state. The operator bodies are the former executeExact / executeApprox /
 // executeTwoPred / ExecuteSelectJoin code paths, extracted statement-for-
 // statement so the determinism contract is preserved bit-for-bit: RNG
@@ -71,16 +71,16 @@ type pipeState struct {
 	// empty join).
 	res *Result
 
-	// analyze turns on EXPLAIN ANALYZE instrumentation: runNode records
-	// each operator's deterministic counter deltas (and display-only wall
-	// time) into the plan node it executes.
+	// analyze turns on EXPLAIN ANALYZE instrumentation: each executed
+	// operator records its deterministic counter deltas (and display-only
+	// wall time) into the plan node it executes.
 	analyze bool
 }
 
 // predTotals is a snapshot of the statement-wide deterministic counters:
 // charged UDF calls and cache traffic summed over the predicates' meters,
-// failure/retry/denial totals summed over their sinks. runNode diffs two
-// snapshots to attribute work to one operator. The walker runs operators
+// failure/retry/denial totals summed over their sinks. The batch executor
+// diffs two snapshots to attribute work to one operator. Operators run
 // sequentially (parallelism lives inside an operator), so the deltas are
 // exact and — because every underlying counter is deterministic at any
 // parallelism — bit-identical at any parallelism too.
@@ -198,51 +198,6 @@ func (e *Engine) resolvePreds(tbl *table.Table, q Query) ([]resolvedPred, error)
 	return preds, nil
 }
 
-// runNode executes a physical plan node: children first (pipeline tail),
-// then the node's own operator. A node whose child already finished the
-// result (an operator short-circuit) is skipped. Under EXPLAIN ANALYZE
-// (st.analyze) each executed operator records its counter deltas into
-// n.Actual; when a trace rides the context, each operator gets a span.
-func (e *Engine) runNode(ctx context.Context, n *plan.Node, st *pipeState) error {
-	for _, c := range n.Children {
-		if err := e.runNode(ctx, c, st); err != nil {
-			return err
-		}
-	}
-	if st.res != nil {
-		return nil
-	}
-	// Display-only nodes of the fused §5 shape: the conj-exec operator
-	// performs their work internally, so they neither run nor measure.
-	if n.Op == plan.OpConjSolve || (n.Op == plan.OpConjSample && n.Mode == plan.ModeTwoPred) {
-		return nil
-	}
-	sp := obs.FromContext(ctx).Start("op:" + string(n.Op))
-	var before predTotals
-	var start time.Time
-	if st.analyze {
-		before = st.predTotals()
-		start = obs.Now()
-	}
-	err := e.runOp(ctx, n, st)
-	if err == nil && st.analyze {
-		after := st.predTotals()
-		a := &plan.Actual{
-			Calls:       after.calls - before.calls,
-			CacheHits:   after.hits - before.hits,
-			CacheMisses: after.misses - before.misses,
-			Retries:     after.retries - before.retries,
-			Denied:      after.denied - before.denied,
-			Failed:      after.failed - before.failed,
-			ElapsedNS:   int64(obs.Since(start)),
-		}
-		st.fillActualRows(n.Op, a)
-		n.Actual = a
-	}
-	sp.End()
-	return err
-}
-
 // fillActualRows resolves the "rows out" (and groups, where meaningful) of
 // an operator from the pipeline products it just wrote.
 func (st *pipeState) fillActualRows(op plan.Op, a *plan.Actual) {
@@ -278,48 +233,6 @@ func (st *pipeState) fillActualRows(op plan.Op, a *plan.Actual) {
 			a.Rows = len(st.res.Rows)
 		}
 	}
-}
-
-// runOp dispatches one physical operator.
-func (e *Engine) runOp(ctx context.Context, n *plan.Node, st *pipeState) error {
-	switch n.Op {
-	case plan.OpScan:
-		return nil // the row universe is implicit (subset nil = all rows)
-	case plan.OpFilter:
-		return e.opFilter(st)
-	case plan.OpGroupResolve:
-		return e.opGroupResolve(ctx, st)
-	case plan.OpJoinGroup:
-		return e.opJoinGroup(st)
-	case plan.OpSample:
-		return e.opSample(ctx, st)
-	case plan.OpSolve:
-		return e.opSolve(n.Mode, st)
-	case plan.OpProbEval:
-		return e.opProbEval(ctx, st)
-	case plan.OpMerge:
-		return e.opMerge(st)
-	case plan.OpExactEval:
-		return e.opExactEval(ctx, st)
-	case plan.OpConjSample:
-		return e.opConjSample(ctx, st)
-	case plan.OpConjExec:
-		return e.opConjExec(ctx, st)
-	case plan.OpConjWaves:
-		return e.opConjWaves(ctx, n.Mode, st)
-	default:
-		return fmt.Errorf("engine: unknown physical operator %q", n.Op)
-	}
-}
-
-// opFilter applies the cheap predicates, shrinking the row universe.
-func (e *Engine) opFilter(st *pipeState) error {
-	subset, err := e.filterRows(st.tbl, st.q.Filters)
-	if err != nil {
-		return err
-	}
-	st.subset = subset
-	return nil
 }
 
 // opGroupResolve determines the grouping the optimizer will use: the
@@ -487,39 +400,6 @@ func (e *Engine) opMerge(st *pipeState) error {
 			AchievedRecallBound: st.achieved,
 			CacheHits:           meter.CacheHits(),
 			CacheMisses:         meter.CacheMisses(),
-		},
-	}
-	return nil
-}
-
-// opExactEval evaluates the predicate on every row of the scan. The batch
-// fans out across the engine's worker pool (gated by the predicate's
-// circuit breaker); verdicts land at their scan index, so the output order
-// matches the sequential scan exactly. Rows whose invocation failed carry
-// verdict false and drop out of the result.
-func (e *Engine) opExactEval(ctx context.Context, st *pipeState) error {
-	meter := st.preds[0].meter
-	scan := universe(st.tbl, st.subset)
-	verdicts, _, err := core.EvalRowsResilient(ctx, e.pool(), scan, meter)
-	if err != nil {
-		return err
-	}
-	var rows []int
-	for i, r := range scan {
-		if verdicts[i] {
-			rows = append(rows, r)
-		}
-	}
-	n := len(scan)
-	st.res = &Result{
-		Rows: rows,
-		Stats: Stats{
-			Evaluations: meter.Calls(),
-			Retrievals:  n,
-			Cost:        float64(n)*st.cost.Retrieve + float64(meter.Calls())*st.cost.Evaluate,
-			Exact:       true,
-			CacheHits:   meter.CacheHits(),
-			CacheMisses: meter.CacheMisses(),
 		},
 	}
 	return nil

@@ -152,7 +152,7 @@ func (e *Engine) ExplainSelectJoin(q SelectJoinQuery) (string, error) {
 // result. The count fields are bit-identical at any parallelism; only the
 // per-node wall times vary (see plan.ZeroTimings).
 func (e *Engine) ExplainAnalyzeContext(ctx context.Context, q Query) (*plan.Node, *Result, error) {
-	res, root, err := e.executeStatement(ctx, q, nil, true)
+	res, root, err := e.executeStatement(ctx, q, nil, true, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -162,7 +162,7 @@ func (e *Engine) ExplainAnalyzeContext(ctx context.Context, q Query) (*plan.Node
 // ExplainAnalyzeSelectJoinContext is ExplainAnalyzeContext for the
 // selection-before-join extension.
 func (e *Engine) ExplainAnalyzeSelectJoinContext(ctx context.Context, q SelectJoinQuery) (*plan.Node, *Result, error) {
-	res, root, err := e.executeStatement(ctx, q.Query, &q, true)
+	res, root, err := e.executeStatement(ctx, q.Query, &q, true, nil)
 	if err != nil {
 		return nil, nil, err
 	}

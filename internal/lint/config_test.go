@@ -38,3 +38,31 @@ func TestDefaultTargetsObsCarveOut(t *testing.T) {
 		t.Error("maporder must cover repro/internal/obs: exposition output is built from maps")
 	}
 }
+
+// TestDefaultTargetsCoverBatchPipeline pins that the batch iterator code
+// paths introduced with the Volcano executor stay under the determinism
+// and context-flow analyzers: the batch operators (internal/engine), the
+// wave runner (internal/core), the plan shapes they compile from
+// (internal/plan), the pool they fan out through (internal/exec) and the
+// public streaming API (the module root, "") are all detrand, maporder
+// AND ctxflow targets. A batch operator that grabbed wall-clock time,
+// ranged a map into an emitted batch, or dropped the context on its
+// Open/Next path must fail the suite.
+func TestDefaultTargetsCoverBatchPipeline(t *testing.T) {
+	targets := lint.DefaultTargets()
+	batchPath := []string{
+		"repro", "repro/internal/core", "repro/internal/engine",
+		"repro/internal/plan", "repro/internal/exec",
+	}
+	for _, analyzer := range []string{"detrand", "maporder", "ctxflow"} {
+		target := targets[analyzer]
+		if target == nil {
+			t.Fatalf("no %s target", analyzer)
+		}
+		for _, pkg := range batchPath {
+			if !target.Match(pkg) {
+				t.Errorf("%s must cover %s: the batch pipeline lives there", analyzer, pkg)
+			}
+		}
+	}
+}

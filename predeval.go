@@ -89,6 +89,18 @@ func (db *DB) SetParallelism(n int) {
 	db.eng.Parallelism = n
 }
 
+// SetBatchSize sets the number of rows per execution batch (n ≤ 0 resets
+// to the engine default of 1024). Batch size is a performance knob, not a
+// semantic one: for a given seed, results and Stats are bit-for-bit
+// identical at every setting (the sole exception is workloads whose
+// circuit breakers trip mid-query — trip timing follows batch
+// boundaries). Smaller batches lower streamed first-row latency; larger
+// batches amortize per-batch overhead. Configure before serving queries
+// (see SetParallelism).
+func (db *DB) SetBatchSize(n int) {
+	db.eng.BatchSize = n
+}
+
 // SetUDFCache toggles the cross-query UDF outcome cache (on by default):
 // when enabled, a row evaluated by one query is never re-paid by a later
 // query over the same (table, UDF, column) — the "= 0/1" comparison is
@@ -510,6 +522,137 @@ func planRows(text string) *Rows {
 		r.cells = append(r.cells, []string{line})
 	}
 	return r
+}
+
+// ErrStopStream can be returned by a QueryStream emit callback to stop
+// the stream early: production halts (upstream evaluation is cancelled),
+// and QueryStream returns successfully with the rows delivered so far.
+var ErrStopStream = engine.ErrStopStream
+
+// StreamOptions carries per-stream execution options.
+type StreamOptions struct {
+	// OnFailure overrides the DB's failure policy for this query: "fail",
+	// "skip" or "degrade" ("" keeps the DB default). See SetFailurePolicy.
+	OnFailure string
+	// Limit, when > 0, stops the stream after that many rows: production
+	// is cancelled upstream (unevaluated rows are never paid for), the
+	// result is marked Truncated, and Stats cover only the work performed.
+	Limit int
+}
+
+// StreamResult summarizes a completed (or early-stopped) stream.
+type StreamResult struct {
+	// Columns holds the projected column names (also passed to every emit
+	// call's cells implicitly — cells[i] is the value of Columns[i]).
+	Columns []string
+	// Stats covers the evaluation actually performed. After an early stop
+	// (Limit reached or emit returned ErrStopStream) they reflect only the
+	// batches pulled before the stop.
+	Stats Stats
+	// RowCount is the number of rows delivered to emit.
+	RowCount int
+	// Truncated reports that Limit stopped the stream before exhaustion.
+	Truncated bool
+}
+
+// QueryStream executes a statement and delivers result rows incrementally:
+// emit is called with each deterministic batch's base-table row ids and
+// rendered cells as execution produces them, instead of materializing the
+// full result. For streaming plan shapes (exact selections and conjunction
+// waves) the first batch arrives while later rows are still unevaluated;
+// blocking shapes (sampling pipelines, the §5 two-predicate plan, joins)
+// finish evaluating first and then stream the finished result out in
+// batches. Rows arrive in base-table order, rendered identically to
+// Query's materialized cells. emit returning ErrStopStream stops the
+// stream early (successfully); any other error aborts the query with that
+// error. EXPLAIN / EXPLAIN ANALYZE statements are not streamable.
+//
+// The determinism contract is unchanged: for a given seed, the
+// concatenation of all emitted batches — and the final Stats — are
+// bit-for-bit identical at every parallelism level and batch size (see
+// SetBatchSize for the circuit-breaker caveat).
+func (db *DB) QueryStream(ctx context.Context, sql string, opts StreamOptions, emit func(ids []int, cells [][]string) error) (*StreamResult, error) {
+	if emit == nil {
+		return nil, fmt.Errorf("predeval: QueryStream requires an emit callback")
+	}
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("parse")
+	stmt, err := sqlparse.Parse(sql)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Explain || stmt.Analyze {
+		return nil, fmt.Errorf("predeval: EXPLAIN statements cannot be streamed")
+	}
+	if opts.OnFailure != "" {
+		policy, err := engine.ParseFailurePolicy(opts.OnFailure)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Query.OnFailure = policy
+	}
+	if opts.Limit < 0 {
+		return nil, fmt.Errorf("predeval: negative stream limit %d", opts.Limit)
+	}
+	cols, render, err := db.eng.Renderer(stmt.Query)
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamResult{Columns: cols}
+	sink := func(rows []int) error {
+		if opts.Limit > 0 && res.RowCount+len(rows) >= opts.Limit {
+			rows = rows[:opts.Limit-res.RowCount]
+			res.Truncated = true
+		}
+		if len(rows) > 0 {
+			cells := make([][]string, len(rows))
+			for i, row := range rows {
+				cells[i] = render(row)
+			}
+			err := emit(rows, cells)
+			res.RowCount += len(rows)
+			if err != nil {
+				return err
+			}
+		}
+		if res.Truncated {
+			return ErrStopStream
+		}
+		return nil
+	}
+	var stats engine.Stats
+	if stmt.Join != nil {
+		sj, err := stmt.SelectJoin()
+		if err != nil {
+			return nil, err
+		}
+		stats, err = db.eng.ExecuteStreamSelectJoinContext(ctx, sj, sink)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		stats, err = db.eng.ExecuteStreamContext(ctx, stmt.Query, sink)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Stats = Stats{
+		Evaluations:         stats.Evaluations,
+		Retrievals:          stats.Retrievals,
+		Cost:                stats.Cost,
+		ChosenColumn:        stats.ChosenColumn,
+		Sampled:             stats.Sampled,
+		Exact:               stats.Exact,
+		AchievedRecallBound: stats.AchievedRecallBound,
+		CacheHits:           stats.CacheHits,
+		CacheMisses:         stats.CacheMisses,
+		FailedRows:          stats.FailedRows,
+		Retries:             stats.Retries,
+		BreakerTrips:        stats.BreakerTrips,
+		Degraded:            stats.Degraded,
+	}
+	return res, nil
 }
 
 // TableNames lists the registered tables in sorted order.
