@@ -94,13 +94,21 @@ func leak(ch chan int) {
 	}
 }
 
-// TestJSONOutput: -json emits a parseable lint.Result on stdout.
+// TestJSONOutput: -json emits a parseable lint.Result on stdout, including
+// the per-directive use counts.
 func TestJSONOutput(t *testing.T) {
 	dir := writeModule(t, map[string]string{
 		"internal/core/bad.go": `package core
 
 func leak(ch chan int) {
 	go func() { ch <- 1 }()
+}
+`,
+		"internal/core/allowed.go": `package core
+
+func covered(ch chan int) {
+	//predlint:allow gospawn — exercising the directive_uses JSON field
+	go func() { ch <- 2 }()
 }
 `,
 	})
@@ -118,8 +126,177 @@ func leak(ch chan int) {
 	if res.Findings[0].File != filepath.Join("internal", "core", "bad.go") {
 		t.Errorf("finding file = %q, want module-relative path", res.Findings[0].File)
 	}
-	if len(res.Analyzers) != 6 {
-		t.Errorf("analyzers = %v, want the 6-analyzer suite", res.Analyzers)
+	if len(res.Analyzers) != 10 {
+		t.Errorf("analyzers = %v, want the 10-analyzer suite", res.Analyzers)
+	}
+	if res.Suppressed != 1 || res.Directives != 1 {
+		t.Errorf("suppressed/directives = %d/%d, want 1/1", res.Suppressed, res.Directives)
+	}
+	if len(res.DirectiveUses) != 1 {
+		t.Fatalf("directive_uses = %+v, want one entry", res.DirectiveUses)
+	}
+	u := res.DirectiveUses[0]
+	if u.File != filepath.Join("internal", "core", "allowed.go") || u.Uses != 1 ||
+		len(u.Analyzers) != 1 || u.Analyzers[0] != "gospawn" || u.Reason == "" {
+		t.Errorf("directive_uses[0] = %+v, want the gospawn directive with 1 use and its reason", u)
+	}
+}
+
+// TestOnlySkipFilters: -only restricts the suite, -skip carves from it,
+// and an unknown name in either is a usage error (exit 2).
+func TestOnlySkipFilters(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+func leak(ch chan int) {
+	go func() { ch <- 1 }()
+}
+`,
+	})
+	cases := []struct {
+		name string
+		args []string
+		exit int
+	}{
+		{"only the violated analyzer", []string{"-only", "gospawn"}, 1},
+		{"only an unrelated analyzer", []string{"-only", "detrand"}, 0},
+		{"skip the violated analyzer", []string{"-skip", "gospawn"}, 0},
+		{"skip an unrelated analyzer", []string{"-skip", "detrand"}, 1},
+		{"only with a list", []string{"-only", "detrand,gospawn"}, 1},
+		{"unknown only name", []string{"-only", "nosuchcheck"}, 2},
+		{"unknown skip name", []string{"-skip", "nosuchcheck"}, 2},
+		{"everything filtered out", []string{"-only", "gospawn", "-skip", "gospawn"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			args := append([]string{"-C", dir}, append(c.args, "./...")...)
+			if code := run(args, &stdout, &stderr); code != c.exit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, c.exit, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestStrictStaleDirectiveFailsRun: a directive that suppresses nothing
+// passes by default but fails under -strict — unless the analyzer it
+// names was filtered out of the run.
+func TestStrictStaleDirectiveFailsRun(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/stale.go": `package core
+
+//predlint:allow maporder — historical exception, nothing left to excuse
+func nothing() {}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("non-strict exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-strict", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("strict exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "stale") || !strings.Contains(stdout.String(), "maporder") {
+		t.Errorf("stdout does not report the stale maporder directive:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-strict", "-only", "gospawn", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("strict -only exit = %d, want 0 (maporder did not run, so its directive proves nothing)\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+// TestSeededFlowViolationsFailLint is the acceptance check for the four
+// flow-sensitive analyzers: one module seeding a violation of each
+// invariant — an escaping batch slice, an unbalanced span, a mixed
+// atomic/plain field, and breaker interaction inside a worker closure —
+// must fail the lint with all four analyzers reporting.
+func TestSeededFlowViolationsFailLint(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/engine/bad_batch.go": `package engine
+
+import "context"
+
+type Batch struct{ Rows []int }
+
+type child struct{}
+
+func (c *child) Next(ctx context.Context) (*Batch, error) { return &Batch{}, nil }
+
+type op struct {
+	child *child
+	rows  []int
+}
+
+func (o *op) pull(ctx context.Context) {
+	b, _ := o.child.Next(ctx)
+	o.rows = b.Rows
+}
+`,
+		"internal/engine/bad_span.go": `package engine
+
+type Span struct{}
+
+func (s *Span) End()                    {}
+func (s *Span) SetAttr(k, v string)     {}
+
+type Trace struct{}
+
+func (t *Trace) Start(name string) *Span { return &Span{} }
+
+func leakSpan(t *Trace, fail bool) bool {
+	sp := t.Start("wave")
+	sp.SetAttr("k", "v")
+	if fail {
+		return false
+	}
+	sp.End()
+	return true
+}
+`,
+		"internal/core/bad_atomic.go": `package core
+
+import "sync/atomic"
+
+type ctr struct{ n int64 }
+
+func (c *ctr) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *ctr) read() int64 { return c.n }
+`,
+		"internal/exec/bad_fold.go": `package exec
+
+type Pool struct{}
+
+func (p *Pool) ForEachCtx(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+type Breaker struct{}
+
+func (b *Breaker) Plan(n int) []bool  { return make([]bool, n) }
+func (b *Breaker) Record(failed bool) {}
+
+func wave(p *Pool, b *Breaker) {
+	p.ForEachCtx(4, func(i int) {
+		b.Record(false)
+	})
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	for _, name := range []string{"[batchalias]", "[spanbalance]", "[atomicmix]", "[foldpoint]"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("stdout does not report a %s finding:\n%s", name, stdout.String())
+		}
 	}
 }
 
@@ -129,7 +306,10 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"atomicwrite", "ctxflow", "detrand", "errtaxonomy", "gospawn", "maporder"} {
+	for _, name := range []string{
+		"atomicmix", "atomicwrite", "batchalias", "ctxflow", "detrand",
+		"errtaxonomy", "foldpoint", "gospawn", "maporder", "spanbalance",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}
@@ -137,8 +317,9 @@ func TestListFlag(t *testing.T) {
 }
 
 // TestRepositoryIsClean runs the real suite over the real tree — the same
-// invocation CI blocks on. Skipped under -short (it type-checks the whole
-// module).
+// invocation CI blocks on, -strict included, so a stale directive anywhere
+// in the repo fails here first. Skipped under -short (it type-checks the
+// whole module).
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-tree lint is not a short test")
@@ -148,7 +329,7 @@ func TestRepositoryIsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-C", root, "./..."}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-C", root, "-strict", "./..."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("predlint over the repository exits %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
 	}
 	if !strings.Contains(stderr.String(), "predlint: 0 findings") {

@@ -1,0 +1,380 @@
+// Package cfg is the flow-sensitive substrate under the predlint
+// analyzers that check path properties instead of single statements
+// (batchalias, spanbalance). It builds intra-procedural control-flow
+// graphs over go/ast function bodies and provides a generic worklist
+// dataflow engine (worklist.go), reaching definitions (reaching.go) and
+// a conservative escape-lite taint lattice (escape.go) — all on the
+// standard library, mirroring the x/tools go/analysis split the same way
+// the loader in internal/lint does.
+//
+// The graphs are deliberately modest. A Block holds statement-level
+// nodes in execution order; compound statements never appear in
+// Block.Nodes except *ast.RangeStmt, which seats a loop header so
+// analyses can model the per-iteration key/value definition (clients
+// must look only at its Key/Value/X, never recurse into its Body).
+// Function literals are opaque at this level: their bodies belong to
+// their own graphs (analyzers visit every function, literals included),
+// while the enclosing graph carries the literal as part of the statement
+// that creates it, which is exactly what capture analyses need.
+//
+// Every return edges to the single synthetic Exit block, so "holds on
+// all paths out of the function" is "holds at Exit entry". A call to the
+// panic builtin terminates its path without reaching Exit: deferred
+// cleanups still run during a panic, so treating panic as a normal exit
+// would charge per-return cleanup patterns with leaks they cannot fix.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first. It may carry nodes.
+	Entry *Block
+	// Exit is a synthetic, empty block every return path reaches.
+	Exit *Block
+	// Blocks lists all blocks, in creation (roughly source) order.
+	// Blocks unreachable from Entry have no predecessors and simply
+	// never accumulate dataflow facts.
+	Blocks []*Block
+}
+
+// Block is a straight-line run of statement-level nodes.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// New builds the control-flow graph for one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*Block{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+// scope is one enclosing breakable construct: loops carry a continue
+// target, switch/select only a break target.
+type scope struct {
+	label     string
+	brk, cont *Block
+}
+
+type builder struct {
+	g *Graph
+	// cur is the block under construction; nil after a terminator
+	// (return, branch, panic) until the next statement revives it as an
+	// unreachable block.
+	cur          *Block
+	scopes       []scope
+	labels       map[string]*Block
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// current returns the block under construction, reviving dead control
+// flow (statements after a terminator) as a fresh unreachable block.
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.current()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// label returns (creating on demand) the block that carries the named
+// label, the target of both goto and the label's own fallthrough entry.
+func (b *builder) label(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		blk := b.label(s.Label.Name)
+		b.edge(b.current(), blk)
+		b.cur = blk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanic(call) {
+			b.cur = nil
+		}
+	default:
+		// Assignments, declarations, sends, incdec, defer, go, empty:
+		// straight-line statement-level nodes.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.current()
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	var elseEnd *Block
+	hasElse := s.Else != nil
+	if hasElse {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+	after := b.newBlock()
+	if !hasElse {
+		b.edge(cond, after)
+	}
+	b.edge(thenEnd, after)
+	b.edge(elseEnd, after)
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.current(), head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock()
+	post := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		// A condition-less for only leaves via break/return.
+		b.edge(head, after)
+	}
+	b.scopes = append(b.scopes, scope{label: label, brk: after, cont: post})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, post)
+	b.cur = post
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	b.edge(b.cur, head)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.add(s.X)
+	head := b.newBlock()
+	b.edge(b.current(), head)
+	// The RangeStmt itself seats the loop header: per-iteration
+	// key/value definitions live here. See the package comment for the
+	// "never recurse into its Body" contract.
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.scopes = append(b.scopes, scope{label: label, brk: after, cont: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+// switchStmt handles both expression and type switches; exactly one of
+// tag (expression switch) and assign (type switch guard) is non-nil,
+// and both may be nil for a bare switch.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	header := b.current()
+	after := b.newBlock()
+	b.scopes = append(b.scopes, scope{label: label, brk: after})
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(header, blocks[i])
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		stmts := cc.Body
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				stmts = stmts[:n-1]
+				fallsThrough = true
+			}
+		}
+		b.stmtList(stmts)
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+		b.cur = nil
+	}
+	if !hasDefault {
+		b.edge(header, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	header := b.current()
+	after := b.newBlock()
+	b.scopes = append(b.scopes, scope{label: label, brk: after})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(header, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+		b.cur = nil
+	}
+	// A clause-less select{} blocks forever: after stays unreachable,
+	// which is exactly right.
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		b.edge(b.current(), b.findScope(s.Label, true))
+	case token.CONTINUE:
+		b.edge(b.current(), b.findScope(s.Label, false))
+	case token.GOTO:
+		if s.Label != nil {
+			b.edge(b.current(), b.label(s.Label.Name))
+		}
+	case token.FALLTHROUGH:
+		// Wired by switchStmt; a stray one (dead code) just ends the path.
+	}
+	b.cur = nil
+}
+
+// findScope resolves a break (brk=true) or continue target, honoring an
+// optional label. Unlabeled continue skips non-loop scopes.
+func (b *builder) findScope(label *ast.Ident, brk bool) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if label != nil && sc.label != label.Name {
+			continue
+		}
+		if brk {
+			return sc.brk
+		}
+		if sc.cont != nil {
+			return sc.cont
+		}
+		if label != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// isPanic matches a call to the panic builtin syntactically; a shadowed
+// panic identifier is pathological enough to ignore at this layer.
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

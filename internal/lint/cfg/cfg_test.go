@@ -1,0 +1,269 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// compile type-checks one source file and returns the named function's
+// body plus the type info needed by the analyses.
+func compile(t *testing.T, src, fn string) (*ast.BlockStmt, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd.Body, info
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// reachesExit reports whether Exit is reachable from Entry.
+func reachesExit(g *Graph) bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			stack = append(stack, s)
+		}
+	}
+	return seen[g.Exit]
+}
+
+// hasCycle reports whether the graph has any cycle (DFS with an
+// on-stack marker).
+func hasCycle(g *Graph) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	var visit func(b *Block) bool
+	visit = func(b *Block) bool {
+		color[b.Index] = gray
+		for _, s := range b.Succs {
+			switch color[s.Index] {
+			case gray:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[b.Index] = black
+		return false
+	}
+	for _, b := range g.Blocks {
+		if color[b.Index] == white && visit(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGraphShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		// wantExit: Exit reachable from Entry.
+		wantExit bool
+		// wantLoop: the graph contains a cycle.
+		wantLoop bool
+	}{
+		{"straight", `x = 1; _ = x`, true, false},
+		{"if", `if c { x = 1 } else { x = 2 }; _ = x`, true, false},
+		{"ifNoElse", `if c { x = 1 }; _ = x`, true, false},
+		{"forCond", `for i := 0; i < x; i++ { x++ }`, true, true},
+		{"forever", `for { x++ }`, false, true},
+		{"foreverBreak", `for { if c { break }; x++ }`, true, true},
+		{"rangeLoop", `for i := range xs { x += i }`, true, true},
+		{"switchTag", `switch x { case 1: x = 2; case 2: x = 3; fallthrough; default: x = 4 }`, true, false},
+		{"selectBlock", `select {}`, false, false},
+		{"labeled", `L: for { for { continue L } }`, false, true},
+		{"gotoFwd", `if c { goto done }; x = 1; done: x = 2`, true, false},
+		{"panicPath", `if c { panic("boom") }; x = 1`, true, false},
+		{"panicOnly", `panic("boom")`, false, false},
+		{"returnEarly", `if c { return }; x = 1`, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := fmt.Sprintf(
+				"package x\nvar c bool\nvar xs []int\nfunc f() { var x int; _ = x\n%s\n}", tc.body)
+			body, _ := compile(t, src, "f")
+			g := New(body)
+			if got := reachesExit(g); got != tc.wantExit {
+				t.Errorf("exit reachable = %v, want %v", got, tc.wantExit)
+			}
+			if hasLoop := hasCycle(g); hasLoop != tc.wantLoop {
+				t.Errorf("cycle = %v, want %v", hasLoop, tc.wantLoop)
+			}
+			// Edge lists must be consistent both ways.
+			for _, b := range g.Blocks {
+				for _, s := range b.Succs {
+					found := false
+					for _, p := range s.Preds {
+						if p == b {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("block %d missing pred edge from %d", s.Index, b.Index)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestReachingDefsDiamond(t *testing.T) {
+	src := `package x
+var c bool
+func f() int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`
+	body, info := compile(t, src, "f")
+	g := New(body)
+	defs := ReachingDefs(g, info)
+	// At Exit entry, both branch assignments (but not the initial
+	// definition) must reach x.
+	var xObj types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "x" && obj != nil {
+			xObj = obj
+		}
+	}
+	if xObj == nil {
+		t.Fatal("x object not found")
+	}
+	got := defs[g.Exit][xObj]
+	if len(got) != 2 {
+		t.Fatalf("defs of x at exit = %d, want 2 (one per branch)", len(got))
+	}
+}
+
+// escFixture wires the batchalias-shaped seed/tracks config over a test
+// source: mk() seeds, *Buf / Buf / integer slices / nestings carry.
+func escFixture(t *testing.T, src string) []Escape {
+	t.Helper()
+	body, info := compile(t, src, "f")
+	g := New(body)
+	var tracks func(types.Type) bool
+	tracks = func(ty types.Type) bool {
+		switch u := ty.(type) {
+		case *types.Pointer:
+			return tracks(u.Elem())
+		case *types.Named:
+			if u.Obj().Name() == "Buf" {
+				return true
+			}
+			return tracks(u.Underlying())
+		case *types.Slice:
+			if b, ok := u.Elem().Underlying().(*types.Basic); ok {
+				return b.Info()&types.IsInteger != 0
+			}
+			return tracks(u.Elem())
+		}
+		return false
+	}
+	return Escapes(g, TaintConfig{
+		Info: info,
+		Seed: func(call *ast.CallExpr) bool {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				return id.Name == "mk"
+			}
+			return false
+		},
+		Tracks: tracks,
+	})
+}
+
+const escPrelude = `package x
+type Buf struct{ Rows []int }
+func mk() *Buf { return &Buf{} }
+var global []int
+type holder struct {
+	buf  *Buf
+	rows []int
+	hist [][]int
+}
+func use(rows []int) int { return len(rows) }
+`
+
+func TestEscapes(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   string
+		want []EscapeKind
+	}{
+		{"fieldStore", `func f(h *holder) { b := mk(); h.buf = b }`, []EscapeKind{EscapeStore}},
+		{"rowsFieldStore", `func f(h *holder) { b := mk(); h.rows = b.Rows }`, []EscapeKind{EscapeStore}},
+		{"appendRetain", `func f(h *holder) { b := mk(); h.hist = append(h.hist, b.Rows) }`, []EscapeKind{EscapeStore}},
+		{"globalStore", `func f() { b := mk(); global = b.Rows }`, []EscapeKind{EscapeGlobal}},
+		{"send", `func f(ch chan []int) { b := mk(); ch <- b.Rows }`, []EscapeKind{EscapeSend}},
+		{"ret", `func f() []int { b := mk(); return b.Rows }`, []EscapeKind{EscapeReturn}},
+		{"retSlice", `func f() []int { b := mk(); return b.Rows[1:] }`, []EscapeKind{EscapeReturn}},
+		{"capture", `func f() func() int { b := mk(); return func() int { return len(b.Rows) } }`, []EscapeKind{EscapeCapture}},
+		{"spawn", `func f(ch chan int) { b := mk(); go func(rows []int) { ch <- len(rows) }(b.Rows) }`, []EscapeKind{EscapeSpawn}},
+		{"aliasThenStore", `func f(h *holder) { b := mk(); r := b.Rows; h.rows = r }`, []EscapeKind{EscapeStore}},
+		{"loopStore", `func f(h *holder) { for { b := mk(); h.buf = b } }`, []EscapeKind{EscapeStore}},
+		{"borrowCall", `func f() { b := mk(); _ = use(b.Rows) }`, nil},
+		{"explicitCopy", `func f(h *holder) { b := mk(); h.rows = append([]int(nil), b.Rows...) }`, nil},
+		{"killByReassign", `func f(h *holder) { b := mk(); _ = b; r := []int{1}; h.rows = r }`, nil},
+		{"rangeBorrow", `func f() int { b := mk(); n := 0; for _, v := range b.Rows { n += v }; return n }`, nil},
+		{"condStore", `func f(h *holder, c bool) { b := mk(); if c { h.buf = b } }`, []EscapeKind{EscapeStore}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			escs := escFixture(t, escPrelude+tc.fn)
+			var got []string
+			for _, e := range escs {
+				got = append(got, string(e.Kind))
+				if e.Seed == nil {
+					t.Errorf("escape %v has no seed", e.Kind)
+				}
+			}
+			var want []string
+			for _, k := range tc.want {
+				want = append(want, string(k))
+			}
+			if strings.Join(got, "|") != strings.Join(want, "|") {
+				t.Errorf("escapes = %v, want %v", got, want)
+			}
+		})
+	}
+}

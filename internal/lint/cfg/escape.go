@@ -1,0 +1,400 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// EscapeKind classifies how a tracked value outlives the call that
+// produced it.
+type EscapeKind string
+
+const (
+	// EscapeStore: stored through a field, index, or pointer — a
+	// location that can outlive the statement.
+	EscapeStore EscapeKind = "stored in a longer-lived location"
+	// EscapeGlobal: assigned to a package-level variable.
+	EscapeGlobal EscapeKind = "stored in a package-level variable"
+	// EscapeSend: sent on a channel.
+	EscapeSend EscapeKind = "sent on a channel"
+	// EscapeReturn: returned to the caller.
+	EscapeReturn EscapeKind = "returned to the caller"
+	// EscapeCapture: referenced from inside a function literal, which
+	// may run after the value is invalidated.
+	EscapeCapture EscapeKind = "captured by a function literal"
+	// EscapeSpawn: passed as an argument to a spawned goroutine.
+	EscapeSpawn EscapeKind = "passed to a spawned goroutine"
+)
+
+// Escape is one point where a tracked value leaks out of its producing
+// call's extent.
+type Escape struct {
+	Pos  token.Pos
+	Kind EscapeKind
+	// Seed is the call expression that produced the escaping value.
+	Seed *ast.CallExpr
+}
+
+// TaintConfig parameterizes the escape-lite analysis.
+type TaintConfig struct {
+	Info *types.Info
+	// Seed reports whether a call freshly produces a tracked value
+	// (e.g. a child operator's Next returning a reused *Batch).
+	Seed func(call *ast.CallExpr) bool
+	// Tracks reports whether a type can carry a tracked value — both
+	// directly (the seed's own type) and transitively (a slice or
+	// struct holding one). Expressions whose static type is not
+	// trackable are never tainted, which is how element copies like
+	// append(dst, src...) over basic element types launder taint.
+	Tracks func(t types.Type) bool
+}
+
+// Escapes runs a forward may-taint analysis over g and reports every
+// point where a seeded value escapes. The lattice is a set of tainted
+// local variables (each mapped to its seed); taint propagates through
+// assignment, selection, slicing, indexing, address-of, conversion,
+// composite literals and append-from-tainted, and is killed by
+// re-assignment from an untracked source. Ordinary calls borrow their
+// arguments (callees are assumed not to retain — the contract this
+// analysis enforces is exactly that retention is explicit), so only
+// stores, sends, returns, goroutine hand-offs and closure captures
+// count as escapes.
+func Escapes(g *Graph, cfg TaintConfig) []Escape {
+	a := &taint{cfg: cfg}
+	bottom := func() taintFact { return taintFact{} }
+	join := func(dst, src taintFact) bool {
+		changed := false
+		for obj, seed := range src {
+			if _, ok := dst[obj]; !ok {
+				dst[obj] = seed
+				changed = true
+			}
+		}
+		return changed
+	}
+	transfer := func(b *Block, in taintFact) taintFact {
+		out := in.clone()
+		for _, n := range b.Nodes {
+			a.node(n, out, nil)
+		}
+		return out
+	}
+	ins := Forward(g, taintFact{}, bottom, join, transfer)
+
+	// Post-fixpoint reporting walk: re-apply each block's transfer with
+	// its final entry fact and collect escapes this time.
+	seen := map[escKey]bool{}
+	var out []Escape
+	report := func(pos token.Pos, kind EscapeKind, seed *ast.CallExpr) {
+		k := escKey{pos, kind}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, Escape{Pos: pos, Kind: kind, Seed: seed})
+	}
+	for _, blk := range g.Blocks {
+		fact := ins[blk].clone()
+		for _, n := range blk.Nodes {
+			a.node(n, fact, report)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+type escKey struct {
+	pos  token.Pos
+	kind EscapeKind
+}
+
+// taintFact maps a tainted local variable to the seed call it aliases.
+type taintFact map[types.Object]*ast.CallExpr
+
+func (f taintFact) clone() taintFact {
+	out := make(taintFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+type taint struct {
+	cfg TaintConfig
+}
+
+type reportFunc func(pos token.Pos, kind EscapeKind, seed *ast.CallExpr)
+
+// node applies one statement-level node to the fact, reporting escapes
+// when report is non-nil (the post-fixpoint walk) and staying silent
+// during fixpoint iteration.
+func (a *taint) node(n ast.Node, fact taintFact, report reportFunc) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(n, fact, report)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					a.valueSpec(vs, fact, report)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Loop header only: the body's statements live in their own
+		// blocks (see the cfg package contract), so scan just X for
+		// captures and return.
+		a.rangeHeader(n, fact)
+		a.captures(n.X, fact, report)
+		return
+	case *ast.SendStmt:
+		if seed := a.taintOf(n.Value, fact); seed != nil {
+			a.report(report, n.Pos(), EscapeSend, seed)
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if seed := a.taintOf(res, fact); seed != nil {
+				a.report(report, res.Pos(), EscapeReturn, seed)
+			}
+		}
+	case *ast.GoStmt:
+		for _, arg := range n.Call.Args {
+			if seed := a.taintOf(arg, fact); seed != nil {
+				a.report(report, arg.Pos(), EscapeSpawn, seed)
+			}
+		}
+	}
+	a.captures(n, fact, report)
+}
+
+// captures flags references to tainted variables from inside function
+// literals anywhere under n: the literal may run after the producing
+// call's next invocation invalidates the value.
+func (a *taint) captures(n ast.Node, fact taintFact, report reportFunc) {
+	if report == nil || len(fact) == 0 {
+		return
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		lit, ok := child.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			id, ok := inner.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := a.cfg.Info.Uses[id]; obj != nil {
+				if seed, tainted := fact[obj]; tainted {
+					a.report(report, id.Pos(), EscapeCapture, seed)
+				}
+			}
+			return true
+		})
+		return false
+	})
+}
+
+func (a *taint) report(report reportFunc, pos token.Pos, kind EscapeKind, seed *ast.CallExpr) {
+	if report != nil {
+		report(pos, kind, seed)
+	}
+}
+
+func (a *taint) assign(n *ast.AssignStmt, fact taintFact, report reportFunc) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		// Compound assignment (+= etc.) cannot move a reference-shaped
+		// tracked value wholesale; leave the fact alone.
+		return
+	}
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		// Tuple assignment from a call: taint every result whose type
+		// can carry the tracked value when the call is a seed.
+		var seed *ast.CallExpr
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && a.cfg.Seed(call) {
+			seed = call
+		}
+		for _, lhs := range n.Lhs {
+			s := seed
+			if s != nil && !a.tracks(lhs) {
+				s = nil
+			}
+			a.assignOne(lhs, s, fact, report)
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		var seed *ast.CallExpr
+		if i < len(n.Rhs) {
+			seed = a.taintOf(n.Rhs[i], fact)
+		}
+		a.assignOne(lhs, seed, fact, report)
+	}
+}
+
+func (a *taint) valueSpec(vs *ast.ValueSpec, fact taintFact, report reportFunc) {
+	for i, name := range vs.Names {
+		var seed *ast.CallExpr
+		if i < len(vs.Values) {
+			seed = a.taintOf(vs.Values[i], fact)
+		} else if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok && a.cfg.Seed(call) && a.tracks(name) {
+				seed = call
+			}
+		}
+		a.assignOne(name, seed, fact, report)
+	}
+}
+
+// assignOne applies one lhs ← seed binding: idents gain or lose taint,
+// and any store destination that is not a plain local becomes an escape
+// when the stored value is tainted.
+func (a *taint) assignOne(lhs ast.Expr, seed *ast.CallExpr, fact taintFact, report reportFunc) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := identObject(a.cfg.Info, l)
+		if obj == nil {
+			return
+		}
+		if seed == nil {
+			delete(fact, obj)
+			return
+		}
+		if isPkgLevel(obj) {
+			a.report(report, l.Pos(), EscapeGlobal, seed)
+			return
+		}
+		fact[obj] = seed
+	default:
+		if seed != nil {
+			a.report(report, lhs.Pos(), EscapeStore, seed)
+		}
+	}
+}
+
+// rangeHeader models the per-iteration key/value definitions of a range
+// loop: ranging over a tainted container taints a trackable value
+// variable; otherwise the loop variables are killed.
+func (a *taint) rangeHeader(n *ast.RangeStmt, fact taintFact) {
+	seed := a.taintOf(n.X, fact)
+	bind := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := identObject(a.cfg.Info, id)
+		if obj == nil {
+			return
+		}
+		if seed != nil && a.tracks(id) {
+			fact[obj] = seed
+		} else {
+			delete(fact, obj)
+		}
+	}
+	if n.Key != nil {
+		bind(n.Key)
+	}
+	if n.Value != nil {
+		bind(n.Value)
+	}
+}
+
+// taintOf returns the seed call a value expression may alias, or nil.
+func (a *taint) taintOf(e ast.Expr, fact taintFact) *ast.CallExpr {
+	if e == nil || !a.tracks(e) {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := identObject(a.cfg.Info, e); obj != nil {
+			return fact[obj]
+		}
+	case *ast.ParenExpr:
+		return a.taintOf(e.X, fact)
+	case *ast.SelectorExpr:
+		// A field of a tainted struct (b.Rows) shares its backing store.
+		return a.taintOf(e.X, fact)
+	case *ast.SliceExpr:
+		return a.taintOf(e.X, fact)
+	case *ast.IndexExpr:
+		return a.taintOf(e.X, fact)
+	case *ast.StarExpr:
+		return a.taintOf(e.X, fact)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return a.taintOf(e.X, fact)
+		}
+	case *ast.TypeAssertExpr:
+		return a.taintOf(e.X, fact)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if seed := a.taintOf(el, fact); seed != nil {
+				return seed
+			}
+		}
+	case *ast.CallExpr:
+		return a.callTaint(e, fact)
+	}
+	return nil
+}
+
+func (a *taint) callTaint(call *ast.CallExpr, fact taintFact) *ast.CallExpr {
+	if a.cfg.Seed(call) {
+		return call
+	}
+	info := a.cfg.Info
+	// Conversions pass their operand through unchanged.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return a.taintOf(call.Args[0], fact)
+	}
+	// append: the result shares the destination's backing array, and —
+	// only when the element type itself can carry the tracked value —
+	// aliases the appended elements too. Appending basic elements
+	// (append([]int(nil), b.Rows...)) copies them: that is the
+	// sanctioned "explicit copy" idiom and stays clean.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if seed := a.taintOf(call.Args[0], fact); seed != nil {
+				return seed
+			}
+			for _, arg := range call.Args[1:] {
+				seed := a.taintOf(arg, fact)
+				if seed == nil {
+					continue
+				}
+				if call.Ellipsis.IsValid() {
+					// append(dst, src...): element values are copied;
+					// they alias only if the element type is trackable.
+					if sl, ok := info.TypeOf(arg).Underlying().(*types.Slice); ok && a.cfg.Tracks(sl.Elem()) {
+						return seed
+					}
+					continue
+				}
+				return seed
+			}
+		}
+	}
+	// All other calls return fresh values; their arguments are borrows.
+	return nil
+}
+
+// tracks reports whether the expression's static type can carry a
+// tracked value.
+func (a *taint) tracks(e ast.Expr) bool {
+	t := a.cfg.Info.TypeOf(e)
+	return t != nil && a.cfg.Tracks(t)
+}
+
+func isPkgLevel(obj types.Object) bool {
+	scope := obj.Parent()
+	return scope != nil && scope.Parent() == types.Universe
+}

@@ -1,0 +1,104 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Defs maps each local variable to the set of nodes that may have
+// defined its current value.
+type Defs map[types.Object]map[ast.Node]bool
+
+// ReachingDefs computes, for every block, which definitions of each
+// variable may reach the block's entry. A definition is the statement
+// that assigns: *ast.AssignStmt, *ast.IncDecStmt, *ast.RangeStmt (for
+// its key/value) or *ast.ValueSpec. Variables live at function entry
+// (parameters, captures) simply have no reaching definition until the
+// first assignment — absence means "defined outside the graph".
+func ReachingDefs(g *Graph, info *types.Info) map[*Block]Defs {
+	bottom := func() Defs { return Defs{} }
+	join := func(dst, src Defs) bool {
+		changed := false
+		for obj, nodes := range src {
+			d := dst[obj]
+			if d == nil {
+				d = map[ast.Node]bool{}
+				dst[obj] = d
+			}
+			for n := range nodes {
+				if !d[n] {
+					d[n] = true
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	transfer := func(b *Block, in Defs) Defs {
+		out := cloneDefs(in)
+		for _, n := range b.Nodes {
+			for _, obj := range definedObjects(n, info) {
+				out[obj] = map[ast.Node]bool{n: true}
+			}
+		}
+		return out
+	}
+	return Forward(g, Defs{}, bottom, join, transfer)
+}
+
+func cloneDefs(d Defs) Defs {
+	out := make(Defs, len(d))
+	for obj, nodes := range d {
+		m := make(map[ast.Node]bool, len(nodes))
+		for n := range nodes {
+			m[n] = true
+		}
+		out[obj] = m
+	}
+	return out
+}
+
+// definedObjects lists the variables a statement-level node (re)defines.
+func definedObjects(n ast.Node, info *types.Info) []types.Object {
+	var objs []types.Object
+	addIdent := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := identObject(info, id); obj != nil {
+			objs = append(objs, obj)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			addIdent(lhs)
+		}
+	case *ast.IncDecStmt:
+		addIdent(n.X)
+	case *ast.RangeStmt:
+		addIdent(n.Key)
+		addIdent(n.Value)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						addIdent(name)
+					}
+				}
+			}
+		}
+	}
+	return objs
+}
+
+// identObject resolves an identifier to its variable object, whether
+// the identifier defines it (:=, var) or re-assigns it.
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

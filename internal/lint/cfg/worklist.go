@@ -1,0 +1,46 @@
+package cfg
+
+// Forward runs a forward may-analysis to fixpoint over g and returns
+// the entry fact of every block.
+//
+// entry is the Entry block's initial fact; bottom produces the initial
+// fact for every other block. join merges a predecessor's exit fact
+// into a block's entry fact IN PLACE and reports whether the entry fact
+// changed (facts are reference-shaped: maps or structs of maps).
+// transfer computes a block's exit fact from its entry fact and must
+// not mutate its input — it is re-invoked until fixpoint, so it must
+// also be pure (collect diagnostics in a separate post-fixpoint walk
+// over the returned entry facts, not inside transfer).
+//
+// Blocks are seeded onto the worklist in index order, so iteration
+// order — and therefore any tie-breaking inside join — is
+// deterministic for a given graph.
+func Forward[T any](g *Graph, entry T, bottom func() T, join func(dst, src T) bool, transfer func(b *Block, in T) T) map[*Block]T {
+	ins := make(map[*Block]T, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		if blk == g.Entry {
+			ins[blk] = entry
+		} else {
+			ins[blk] = bottom()
+		}
+	}
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make([]bool, len(g.Blocks))
+	for i := range queued {
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := transfer(blk, ins[blk])
+		for _, s := range blk.Succs {
+			if join(ins[s], out) && !queued[s.Index] {
+				work = append(work, s)
+				queued[s.Index] = true
+			}
+		}
+	}
+	return ins
+}

@@ -35,6 +35,7 @@ const InvalidDirectiveAnalyzer = "predlint"
 type directive struct {
 	pos       token.Pos
 	line      int
+	col       int
 	file      string
 	analyzers []string
 	reason    string
@@ -105,6 +106,7 @@ func (s *suppressor) collectDirectives(fset *token.FileSet, files []*ast.File, k
 				}
 				d.pos = c.Pos()
 				d.line = pos.Line
+				d.col = pos.Column
 				d.file = pos.Filename
 				if fd, ok := funcDoc[cg]; ok {
 					d.funcStart, d.funcEnd = fd.Pos(), fd.End()
@@ -178,4 +180,52 @@ func (s *suppressor) counts() (suppressed, directives int) {
 		suppressed += n
 	}
 	return suppressed, len(s.directives)
+}
+
+// stale returns one finding per directive that suppressed nothing this
+// run, attributed to the pseudo-analyzer "predlint". A directive is only
+// stale when every analyzer it names is in ran: under a filtered suite
+// (-only/-skip) an unexercised directive proves nothing.
+func (s *suppressor) stale(ran map[string]bool) []Finding {
+	var out []Finding
+	for i, d := range s.directives {
+		if s.used[i] > 0 {
+			continue
+		}
+		exercised := true
+		for _, a := range d.analyzers {
+			if !ran[a] {
+				exercised = false
+				break
+			}
+		}
+		if !exercised {
+			continue
+		}
+		out = append(out, Finding{
+			File:     d.file,
+			Line:     d.line,
+			Col:      d.col,
+			Analyzer: InvalidDirectiveAnalyzer,
+			Message: fmt.Sprintf("stale //predlint:allow %s directive: it suppressed nothing in this run — remove it, or fix the code it excused",
+				strings.Join(d.analyzers, ",")),
+		})
+	}
+	return out
+}
+
+// uses itemizes every well-formed directive with its suppression count,
+// in collection order (callers sort after path relativization).
+func (s *suppressor) uses() []DirectiveUse {
+	out := make([]DirectiveUse, 0, len(s.directives))
+	for i, d := range s.directives {
+		out = append(out, DirectiveUse{
+			File:      d.file,
+			Line:      d.line,
+			Analyzers: append([]string(nil), d.analyzers...),
+			Reason:    d.reason,
+			Uses:      s.used[i],
+		})
+	}
+	return out
 }

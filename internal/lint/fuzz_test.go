@@ -1,0 +1,56 @@
+package lint
+
+import "testing"
+
+// FuzzParseDirective hammers the directive grammar — the one parser in
+// the linter that reads arbitrary programmer-written text. The properties
+// under test: no panic, exactly one of (directive, problem) is set, and a
+// parsed directive always carries at least one known analyzer name and a
+// non-empty reason (the auditability contract suppression rests on).
+func FuzzParseDirective(f *testing.F) {
+	seeds := []string{
+		"//predlint:allow detrand — seeded demo stream, determinism preserved",
+		"//predlint:allow detrand -- double-dash separator works too",
+		"//predlint:allow detrand,maporder — multiple analyzers, one reason",
+		"//predlint:allow detrand, maporder\t,\tgospawn — messy separators",
+		"//predlint:allow gospawn",
+		"//predlint:allow — no analyzer name",
+		"//predlint:allow nosuchcheck — unknown analyzer",
+		"//predlint:allow detrand —",
+		"//predlint:allow detrand —   \t ",
+		"//predlint:allowx — prefix ran into the name",
+		"//predlint:allow",
+		"//predlint:allow detrand — reason — with a second dash",
+		"//predlint:allow detrand -- reason — mixed separators",
+		"// predlint:allow detrand — leading space breaks the prefix",
+		"//predlint:allow — detrand",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	known := map[string]bool{"detrand": true, "gospawn": true, "maporder": true}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, problem := parseDirective(text, known)
+		if (d == nil) == (problem == "") {
+			t.Fatalf("parseDirective(%q) = (%v, %q): want exactly one of directive and problem", text, d, problem)
+		}
+		if d != nil {
+			if len(d.analyzers) == 0 {
+				t.Fatalf("parseDirective(%q) accepted a directive with no analyzers", text)
+			}
+			for _, a := range d.analyzers {
+				if !known[a] {
+					t.Fatalf("parseDirective(%q) accepted unknown analyzer %q", text, a)
+				}
+			}
+			if d.reason == "" {
+				t.Fatalf("parseDirective(%q) accepted an empty reason", text)
+			}
+		}
+		// The parser must be a pure function of its input.
+		d2, problem2 := parseDirective(text, known)
+		if problem != problem2 || (d == nil) != (d2 == nil) {
+			t.Fatalf("parseDirective(%q) is not deterministic", text)
+		}
+	})
+}

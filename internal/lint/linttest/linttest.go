@@ -12,6 +12,13 @@
 //
 // Every diagnostic must be covered by a want on its line, and every want
 // must be matched — extra and missing findings both fail the test.
+//
+// A fixture package may span multiple files: every .go file under
+// testdata/src/<path> is parsed and type-checked together (in directory
+// order), and wants are matched per (file, line), so cross-file analyses —
+// an atomic update in one file, the plain read it clashes with in
+// another — are exercisable. The maporder and flow-sensitive fixtures
+// (batchalias, spanbalance, atomicmix, foldpoint) all use this shape.
 package linttest
 
 import (

@@ -1,9 +1,13 @@
-// Package rules holds the predlint analyzer suite: six project-specific
+// Package rules holds the predlint analyzer suite: ten project-specific
 // checks, each mechanically enforcing an invariant one of the earlier PRs
 // established by hand. Every analyzer flags ALL occurrences of its pattern
 // in whatever package it is handed; deciding which packages an analyzer
 // covers is the driver's job (internal/lint/config.go), so the testdata
 // suites exercise analyzers directly without faking package paths.
+//
+// Six of the checks are single-statement AST matchers; the flow-sensitive
+// ones (batchalias, spanbalance) run on the CFG/dataflow substrate in
+// internal/lint/cfg.
 package rules
 
 import (
@@ -16,12 +20,16 @@ import (
 // Suite returns the full analyzer suite in stable (alphabetical) order.
 func Suite() []*lint.Analyzer {
 	return []*lint.Analyzer{
+		Atomicmix,
 		Atomicwrite,
+		Batchalias,
 		Ctxflow,
 		Detrand,
 		Errtaxonomy,
+		Foldpoint,
 		Gospawn,
 		Maporder,
+		Spanbalance,
 	}
 }
 

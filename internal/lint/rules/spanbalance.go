@@ -1,0 +1,527 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint"
+	"repro/internal/lint/cfg"
+)
+
+// Spanbalance enforces the PR 8 tracing invariant: every span opened
+// with Trace.Start must be ended on every path out of the function —
+// either a defer sp.End() right after Start, or an explicit End before
+// each return. An unbalanced span silently truncates EXPLAIN ANALYZE
+// and per-query trace output, which is exactly the "observability lies
+// under error paths" bug class the invariant exists to kill.
+//
+// The analysis is a forward may-analysis over the function's CFG: each
+// Start call assigned to a local is a site; the fact tracks which sites
+// may still be open and which locals may hold them. End (direct or
+// deferred) closes; handing the span anywhere else — a call argument, a
+// field, a return value — transfers the balancing obligation and stops
+// tracking. Spans started and discarded, overwritten while open, or
+// open on some path into the function exit are reported.
+var Spanbalance = &lint.Analyzer{
+	Name: "spanbalance",
+	Doc: "every Trace.Start span must be matched by End on all paths out of the function " +
+		"(defer or per-return) — unbalanced spans corrupt EXPLAIN ANALYZE output (PR 8 invariant)",
+	Run: runSpanbalance,
+}
+
+func runSpanbalance(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		eachFunc(f, func(_ ast.Node, body *ast.BlockStmt) {
+			checkSpans(pass, body)
+		})
+	}
+	return nil
+}
+
+// spanSite is one tracked Start call: one bound to a local variable
+// whose End obligation this function owns.
+type spanSite struct {
+	call *ast.CallExpr
+	// bind is the statement that binds the result (*ast.AssignStmt or
+	// *ast.ValueSpec); obj is the variable bound.
+	bind ast.Node
+	obj  types.Object
+}
+
+type spanFact struct {
+	// open[i]: site i may still be open.
+	open []bool
+	// hold: local variable → sites it may currently hold.
+	hold map[types.Object]map[int]bool
+}
+
+func newSpanFact(n int) *spanFact {
+	return &spanFact{open: make([]bool, n), hold: map[types.Object]map[int]bool{}}
+}
+
+func (f *spanFact) clone() *spanFact {
+	out := newSpanFact(len(f.open))
+	copy(out.open, f.open)
+	for obj, sites := range f.hold {
+		m := make(map[int]bool, len(sites))
+		for s := range sites {
+			m[s] = true
+		}
+		out.hold[obj] = m
+	}
+	return out
+}
+
+func checkSpans(pass *lint.Pass, body *ast.BlockStmt) {
+	parents := parentMap(body)
+	var sites []spanSite
+	siteOf := map[ast.Node][]int{} // bind stmt → site indexes
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Literals are their own functions; eachFunc visits them.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSpanStart(pass.Info, call) {
+			return true
+		}
+		switch p := skipParens(parents, call).(type) {
+		case *ast.SelectorExpr:
+			// Chained method on the fresh span: t.Start("x").End() is
+			// balanced; anything else (SetAttr returns nothing)
+			// discards the span.
+			if p.Sel.Name != "End" {
+				pass.Reportf(call.Pos(), "span %sstarted and its handle discarded: nothing can End it — bind it or chain .End()", spanName(call))
+			}
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "span %sstarted and immediately discarded: nothing can End it — bind the result and End it on every path", spanName(call))
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if ast.Unparen(rhs) != ast.Expr(call) || i >= len(p.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(p.Lhs[i]).(*ast.Ident)
+				if !ok {
+					// Stored straight into a field/index: the owner of
+					// that location carries the End obligation.
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "span %sstarted and assigned to _: nothing can End it", spanName(call))
+					continue
+				}
+				if obj := spanIdentObject(pass.Info, id); obj != nil {
+					siteOf[p] = append(siteOf[p], len(sites))
+					sites = append(sites, spanSite{call: call, bind: p, obj: obj})
+				}
+			}
+		case *ast.ValueSpec:
+			for i, val := range p.Values {
+				if ast.Unparen(val) != ast.Expr(call) || i >= len(p.Names) {
+					continue
+				}
+				id := p.Names[i]
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "span %sstarted and assigned to _: nothing can End it", spanName(call))
+					continue
+				}
+				if obj := spanIdentObject(pass.Info, id); obj != nil {
+					siteOf[p] = append(siteOf[p], len(sites))
+					sites = append(sites, spanSite{call: call, bind: p, obj: obj})
+				}
+			}
+		default:
+			// Call argument, return value, composite literal, defer:
+			// the span is handed off at birth; the receiver owns it.
+		}
+		return true
+	})
+
+	if len(sites) == 0 {
+		return
+	}
+
+	g := cfg.New(body)
+	sb := &spanBalance{info: pass.Info, sites: sites, siteOf: siteOf}
+	bottom := func() *spanFact { return newSpanFact(len(sites)) }
+	join := func(dst, src *spanFact) bool {
+		changed := false
+		for i, o := range src.open {
+			if o && !dst.open[i] {
+				dst.open[i] = true
+				changed = true
+			}
+		}
+		for obj, ss := range src.hold {
+			d := dst.hold[obj]
+			if d == nil {
+				d = map[int]bool{}
+				dst.hold[obj] = d
+			}
+			for s := range ss {
+				if !d[s] {
+					d[s] = true
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	transfer := func(b *cfg.Block, in *spanFact) *spanFact {
+		out := in.clone()
+		for _, n := range b.Nodes {
+			sb.apply(n, out, nil)
+		}
+		return out
+	}
+	ins := cfg.Forward(g, newSpanFact(len(sites)), bottom, join, transfer)
+
+	// Reporting walk with the fixpoint facts; one report per site.
+	reported := make([]bool, len(sites))
+	report := func(site int, format string) {
+		if reported[site] {
+			return
+		}
+		reported[site] = true
+		s := sites[site]
+		pass.Reportf(s.call.Pos(), format, spanName(s.call), s.obj.Name())
+	}
+	for _, blk := range g.Blocks {
+		fact := ins[blk].clone()
+		for _, n := range blk.Nodes {
+			sb.apply(n, fact, report)
+		}
+	}
+	exit := ins[g.Exit]
+	for i := range sites {
+		if exit.open[i] {
+			report(i, "span %sis not ended on every path out of the function: add `defer %s.End()` after Start, or End it before each return")
+		}
+	}
+}
+
+type spanBalance struct {
+	info   *types.Info
+	sites  []spanSite
+	siteOf map[ast.Node][]int
+}
+
+type spanReport func(site int, format string)
+
+// apply folds one statement-level node into the fact.
+func (sb *spanBalance) apply(n ast.Node, st *spanFact, report spanReport) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		sb.applyUses(n, st, report, assignSkips(sb.info, n, st))
+		sb.applyAssign(n, st, report)
+	case *ast.RangeStmt:
+		// Loop header only — the body's statements live in their own
+		// blocks (cfg package contract). Rebinding the key/value over a
+		// span-typed range is not a pattern worth modeling; just fold
+		// the range operand's uses.
+		sb.applyUses(n.X, st, report, nil)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					sb.applyUses(vs, st, report, nil)
+					sb.applyBindings(vs, vsTargets(sb.info, vs), st, report)
+				}
+			}
+		}
+	default:
+		sb.applyUses(n, st, report, nil)
+	}
+}
+
+// applyAssign handles the structural effects of an assignment after its
+// expression uses have been folded: seeding new sites, alias copies and
+// kills of overwritten variables.
+func (sb *spanBalance) applyAssign(n *ast.AssignStmt, st *spanFact, report spanReport) {
+	// Pure alias: sp2 := sp — the new variable may hold the same sites.
+	if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+		if rid, ok := ast.Unparen(n.Rhs[0]).(*ast.Ident); ok {
+			if robj := identObj(sb.info, rid); robj != nil && len(st.hold[robj]) > 0 {
+				if lid, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok && lid.Name != "_" {
+					if lobj := identObj(sb.info, lid); lobj != nil {
+						sb.kill(lobj, st, report)
+						m := map[int]bool{}
+						for s := range st.hold[robj] {
+							m[s] = true
+						}
+						st.hold[lobj] = m
+						return
+					}
+				}
+			}
+		}
+	}
+	sb.applyBindings(n, assignTargets(sb.info, n), st, report)
+}
+
+// applyBindings kills every overwritten variable, then opens the sites
+// this statement seeds.
+func (sb *spanBalance) applyBindings(bind ast.Node, targets []types.Object, st *spanFact, report spanReport) {
+	seeded := map[types.Object]int{}
+	for _, site := range sb.siteOf[bind] {
+		seeded[sb.sites[site].obj] = site
+	}
+	for _, obj := range targets {
+		sb.kill(obj, st, report)
+	}
+	for _, site := range sb.siteOf[bind] {
+		s := sb.sites[site]
+		st.hold[s.obj] = map[int]bool{site: true}
+		st.open[site] = true
+	}
+}
+
+// kill drops obj's holdings; a site left open with no remaining holder
+// can never be ended — report it as overwritten.
+func (sb *spanBalance) kill(obj types.Object, st *spanFact, report spanReport) {
+	ss := st.hold[obj]
+	delete(st.hold, obj)
+	var orphaned []int
+	for s := range ss {
+		if st.open[s] && !heldAnywhere(st, s) {
+			orphaned = append(orphaned, s)
+		}
+	}
+	sort.Ints(orphaned)
+	for _, s := range orphaned {
+		st.open[s] = false
+		if report != nil {
+			report(s, "span %sis overwritten before being ended — End %s before rebinding it")
+		}
+	}
+}
+
+func heldAnywhere(st *spanFact, site int) bool {
+	for _, ss := range st.hold {
+		if ss[site] {
+			return true
+		}
+	}
+	return false
+}
+
+// applyUses folds expression-level span uses within n: End (direct,
+// chained or deferred) closes the held sites; any other appearance of a
+// held variable — call argument, return value, field store, channel
+// send — hands the obligation off and stops tracking. skip lists
+// identifiers handled structurally by the caller (assignment targets).
+func (sb *spanBalance) applyUses(n ast.Node, st *spanFact, report spanReport, skip map[*ast.Ident]bool) map[*ast.Ident]bool {
+	if skip == nil {
+		skip = map[*ast.Ident]bool{}
+	}
+	// Pass 1: method calls on held variables. End closes; other span
+	// methods (SetAttr) are neutral. Receivers are excluded from the
+	// hand-off scan below.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if _, ok := child.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := child.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := identObj(sb.info, id)
+		if obj == nil || len(st.hold[obj]) == 0 {
+			return true
+		}
+		skip[id] = true
+		if sel.Sel.Name == "End" {
+			for s := range st.hold[obj] {
+				st.open[s] = false
+			}
+		}
+		return true
+	})
+	// Pass 2: any remaining use of a held variable hands its sites off.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if lit, ok := child.(*ast.FuncLit); ok {
+			// A closure capturing the span may End it later (e.g. a
+			// registered cleanup): treat capture as a hand-off.
+			sb.handoffCaptures(lit, st)
+			return false
+		}
+		id, ok := child.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		obj := identObj(sb.info, id)
+		if obj == nil {
+			return true
+		}
+		if ss := st.hold[obj]; len(ss) > 0 {
+			for s := range ss {
+				st.open[s] = false
+			}
+			delete(st.hold, obj)
+		}
+		return true
+	})
+	return skip
+}
+
+func (sb *spanBalance) handoffCaptures(lit *ast.FuncLit, st *spanFact) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := sb.info.Uses[id]; obj != nil {
+			if ss := st.hold[obj]; len(ss) > 0 {
+				for s := range ss {
+					st.open[s] = false
+				}
+				delete(st.hold, obj)
+			}
+		}
+		return true
+	})
+}
+
+// assignSkips pre-marks an assignment's LHS identifiers so the hand-off
+// scan does not mistake the rebinding for a use; applyAssign handles
+// them structurally.
+func assignSkips(info *types.Info, n *ast.AssignStmt, st *spanFact) map[*ast.Ident]bool {
+	skip := map[*ast.Ident]bool{}
+	for _, lhs := range n.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			skip[id] = true
+		}
+	}
+	// A pure alias RHS is handled structurally too.
+	if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+		if rid, ok := ast.Unparen(n.Rhs[0]).(*ast.Ident); ok {
+			if robj := identObj(info, rid); robj != nil && len(st.hold[robj]) > 0 {
+				skip[rid] = true
+			}
+		}
+	}
+	return skip
+}
+
+func assignTargets(info *types.Info, n *ast.AssignStmt) []types.Object {
+	var out []types.Object
+	for _, lhs := range n.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if obj := identObj(info, id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func vsTargets(info *types.Info, vs *ast.ValueSpec) []types.Object {
+	var out []types.Object
+	for _, id := range vs.Names {
+		if id.Name == "_" {
+			continue
+		}
+		if obj := identObj(info, id); obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// spanIdentObject resolves the bound identifier, requiring span type so
+// `n, err := x.Start(...)` misuse elsewhere cannot seed nonsense.
+func spanIdentObject(info *types.Info, id *ast.Ident) types.Object {
+	obj := identObj(info, id)
+	if obj == nil || !isSpanPtr(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// isSpanStart matches a call to a method named Start returning *Span.
+// Shape matching (not the concrete obs type) keeps the analyzer
+// exercisable from testdata fixtures.
+func isSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	// Method call, not package-qualified function.
+	if lint.PkgNamePath(info, identOrNil(sel.X)) != "" {
+		return false
+	}
+	return isSpanPtr(info.TypeOf(call))
+}
+
+func identOrNil(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+func isSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// spanName renders the span's literal name for messages ("op:scan" →
+// `"op:scan" `), or "" when the first argument is not a string literal.
+func spanName(call *ast.CallExpr) string {
+	if len(call.Args) > 0 {
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			return fmt.Sprintf("%s ", lit.Value)
+		}
+	}
+	return ""
+}
+
+// parentMap records each node's parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// skipParens walks up through parenthesis nodes to the semantic parent.
+func skipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		if pe, ok := p.(*ast.ParenExpr); ok {
+			p = parents[pe]
+			continue
+		}
+		return p
+	}
+}

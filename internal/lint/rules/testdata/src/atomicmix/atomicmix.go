@@ -1,0 +1,40 @@
+// Package atomicmix exercises the atomicmix analyzer: fields and
+// variables touched through sync/atomic anywhere in the package must be
+// atomic everywhere — plain reads/writes elsewhere are data races.
+package atomicmix
+
+import "sync/atomic"
+
+func (c *counters) flaggedPlainRead() int64 {
+	return c.hits // want "mixed atomic/plain access"
+}
+
+func (c *counters) flaggedPlainWrite() {
+	c.hits = 0 // want "mixed atomic/plain access"
+}
+
+func (c *counters) flaggedPlainIncrement() {
+	c.misses++ // want "mixed atomic/plain access"
+}
+
+func flaggedGlobalRead() uint64 {
+	return generation // want "mixed atomic/plain access"
+}
+
+func (c *counters) cleanAtomicEverywhere() int64 {
+	atomic.StoreInt64(&c.hits, 0)
+	return atomic.LoadInt64(&c.misses)
+}
+
+// cleanPlainOnly: plain is never touched atomically, so plain access is
+// fine.
+func (c *counters) cleanPlainOnly() int64 {
+	c.plain++
+	return c.plain
+}
+
+// cleanTyped: typed atomics make the mix impossible by construction.
+func (c *counters) cleanTyped() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}

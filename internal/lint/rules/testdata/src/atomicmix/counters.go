@@ -1,0 +1,27 @@
+// Helper file for the atomicmix fixture (multi-file package): the
+// atomic updates live here, the mixed plain accesses in atomicmix.go —
+// the analyzer must correlate them across files.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	plain  int64
+	typed  atomic.Int64
+}
+
+var generation uint64
+
+func (c *counters) bumpHits() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) loadMisses() int64 {
+	return atomic.LoadInt64(&c.misses)
+}
+
+func nextGeneration() uint64 {
+	return atomic.AddUint64(&generation, 1)
+}

@@ -1,0 +1,99 @@
+// Package batchalias exercises the batchalias analyzer: a *Batch (or
+// its row slices) obtained from a child's Next must not outlive the
+// call — field/global stores, channel sends, retained appends, returns
+// and goroutine hand-offs are flagged; borrowing and explicit copies
+// are clean.
+package batchalias
+
+import "context"
+
+var lastRows []int
+
+type op struct {
+	child *childOp
+	held  *Batch
+	rows  []int
+	hist  [][]int
+	buf   []int
+	batch Batch
+	total int
+	ch    chan []int
+}
+
+func (o *op) flaggedStores(ctx context.Context) error {
+	b, err := o.child.Next(ctx)
+	if err != nil {
+		return err
+	}
+	o.held = b         // want "stored in a longer-lived location"
+	o.rows = b.Rows    // want "stored in a longer-lived location"
+	o.rows = b.Sel[1:] // want "stored in a longer-lived location"
+	lastRows = b.Rows  // want "stored in a package-level variable"
+	o.ch <- b.Rows     // want "sent on a channel"
+	return nil
+}
+
+func (o *op) flaggedRetainAppend(ctx context.Context) {
+	b, _ := o.child.Next(ctx)
+	o.hist = append(o.hist, b.Rows) // want "stored in a longer-lived location"
+}
+
+func (o *op) flaggedReturn(ctx context.Context) []int {
+	b, _ := o.child.Next(ctx)
+	return b.Rows // want "returned to the caller"
+}
+
+func (o *op) flaggedAlias(ctx context.Context) {
+	b, _ := o.child.Next(ctx)
+	rows := b.Rows
+	o.rows = rows // want "stored in a longer-lived location"
+}
+
+func (o *op) flaggedCapture(ctx context.Context) func() int {
+	b, _ := o.child.Next(ctx)
+	// The closure itself is not a batch carrier, so the return is clean;
+	// the reference inside it is the escape.
+	return func() int {
+		return consume(b.Rows) // want "captured by a function literal"
+	}
+}
+
+func (o *op) flaggedSpawn(ctx context.Context) {
+	b, _ := o.child.Next(ctx)
+	go relay(o.ch, b.Rows) // want "passed to a spawned goroutine"
+}
+
+func relay(ch chan []int, rows []int) { ch <- rows }
+
+// cleanBorrowAndCopy is the sanctioned shape: iterate the borrowed
+// batch, copy what must be retained, hand out only owned storage.
+func (o *op) cleanBorrowAndCopy(ctx context.Context) (*Batch, error) {
+	for {
+		b, err := o.child.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		for _, r := range b.Rows {
+			o.total += r
+		}
+		_ = consume(b.Rows)
+		o.buf = append(o.buf, b.Rows...)
+		o.rows = append([]int(nil), b.Rows...)
+		if o.total > 100 {
+			o.batch.Rows = o.buf
+			return &o.batch, nil
+		}
+	}
+}
+
+// cleanKill: once the variable is rebound to owned storage, stores are
+// fine.
+func (o *op) cleanKill(ctx context.Context) {
+	b, _ := o.child.Next(ctx)
+	_ = consume(b.Rows)
+	rows := []int{1, 2, 3}
+	o.rows = rows
+}

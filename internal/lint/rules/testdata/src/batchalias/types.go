@@ -1,0 +1,25 @@
+// Helper file for the batchalias fixture (the package spans two files
+// to exercise linttest's multi-file loading): the Batch shape and a
+// child operator mirroring internal/engine's Volcano contract.
+package batchalias
+
+import "context"
+
+// Batch mirrors the engine's reused row container: Rows is the
+// selection vector, owned by the producer.
+type Batch struct {
+	Rows []int
+	Sel  []int
+}
+
+type childOp struct {
+	batch Batch
+}
+
+// Next hands out the operator's reused batch, valid only until the next
+// Next call.
+func (c *childOp) Next(ctx context.Context) (*Batch, error) {
+	return &c.batch, nil
+}
+
+func consume(rows []int) int { return len(rows) }

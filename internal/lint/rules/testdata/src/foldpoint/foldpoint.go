@@ -1,0 +1,79 @@
+// Package foldpoint exercises the foldpoint analyzer: gate/breaker
+// Plan/Record calls and Stats writes inside pool worker closures or
+// spawned goroutines are flagged; the sequential fold shape — Plan
+// before the wave, Record and Stats merges after it — is clean.
+package foldpoint
+
+func flaggedGateInWorker(p *Pool, g Gate, rows []int) {
+	verdicts := make([]bool, len(rows))
+	p.ForEachCtx(len(rows), func(i int) {
+		allowed := g.Plan(1) // want "Plan call inside a pool worker closure"
+		verdicts[i] = allowed[0]
+		g.Record(!allowed[0]) // want "Record call inside a pool worker closure"
+	})
+}
+
+func flaggedBreakerInWorker(p *Pool, b *Breaker, rows []int) {
+	p.ForEachCtx(len(rows), func(i int) {
+		b.Record(false) // want "Record call inside a pool worker closure"
+	})
+}
+
+func flaggedStatsInWorker(p *Pool, st *Stats, rows []int) {
+	p.ForEachCtx(len(rows), func(i int) {
+		st.Evaluations++ // want "write to Stats field Evaluations inside a pool worker closure"
+	})
+}
+
+func flaggedStatsAssignInWorker(p *Pool, st *Stats, rows []int) {
+	p.ForEachCtx(len(rows), func(i int) {
+		st.Failures = st.Failures + 1 // want "write to Stats field Failures inside a pool worker closure"
+	})
+}
+
+func flaggedNestedClosure(p *Pool, g Gate, rows []int) {
+	p.ForEachCtx(len(rows), func(i int) {
+		retry := func() {
+			g.Record(true) // want "Record call inside a pool worker closure"
+		}
+		retry()
+	})
+}
+
+func flaggedGoroutine(g Gate, done chan struct{}) {
+	go func() {
+		g.Record(false) // want "Record call inside a spawned goroutine"
+		close(done)
+	}()
+}
+
+// cleanFoldSite is the sanctioned shape: Plan before the wave, workers
+// only fill their own slots, Record and Stats merges after the wave on
+// the calling goroutine.
+func cleanFoldSite(p *Pool, g Gate, st *Stats, rows []int) {
+	allowed := g.Plan(len(rows))
+	verdicts := make([]bool, len(rows))
+	p.ForEachCtx(len(rows), func(i int) {
+		if allowed[i] {
+			verdicts[i] = rows[i] > 0
+		}
+	})
+	failed := 0
+	for _, v := range verdicts {
+		if !v {
+			failed++
+		}
+	}
+	g.Record(failed > 0)
+	st.Evaluations += len(rows)
+	st.Failures += failed
+}
+
+// cleanLocalAccumulator: workers may write non-Stats locals they own.
+func cleanLocalAccumulator(p *Pool, rows []int) []int {
+	out := make([]int, len(rows))
+	p.ForEachCtx(len(rows), func(i int) {
+		out[i] = rows[i] * 2
+	})
+	return out
+}

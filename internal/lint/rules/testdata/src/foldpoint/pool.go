@@ -1,0 +1,39 @@
+// Helper file for the foldpoint fixture (multi-file package): the pool,
+// gate and stats shapes mirroring internal/exec and internal/stats.
+package foldpoint
+
+type Pool struct{}
+
+// ForEachCtx runs fn(i) for each i on pool goroutines.
+func (p *Pool) ForEachCtx(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Gate mirrors exec.Gate: Plan before a wave, Record after it, both on
+// the calling goroutine.
+type Gate interface {
+	Segment() int
+	Plan(n int) []bool
+	Record(failed bool)
+}
+
+// Breaker is a concrete gate.
+type Breaker struct {
+	failures int
+}
+
+func (b *Breaker) Segment() int      { return 1 }
+func (b *Breaker) Plan(n int) []bool { return make([]bool, n) }
+func (b *Breaker) Record(failed bool) {
+	if failed {
+		b.failures++
+	}
+}
+
+// Stats mirrors the evidence counters folded after each wave.
+type Stats struct {
+	Evaluations int
+	Failures    int
+}

@@ -1,0 +1,32 @@
+// Second file of the maporder fixture: the clean idioms, plus one flagged
+// case so the harness proves it reports per file, not just per package.
+package maporder
+
+import "sort"
+
+func flaggedFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into \"sum\""
+	}
+	return sum
+}
+
+func cleanCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: the collect-then-sort idiom
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanOrderIndependent(m map[string]int, dst map[string]int) int {
+	total := 0
+	for k, v := range m {
+		total += v // integer addition commutes exactly
+		dst[k] = v // map writes are order-independent
+		delete(m, k)
+	}
+	return total
+}

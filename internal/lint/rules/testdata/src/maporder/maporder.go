@@ -2,12 +2,13 @@
 // feed order-sensitive sinks (appends without a later sort, channel sends,
 // side-effecting calls, float accumulation) are flagged; the
 // collect-then-sort idiom and order-independent writes are clean.
+//
+// The package is deliberately split across two files (the clean idioms and
+// one flagged case live in clean.go) to pin the harness's multi-file
+// loading: diagnostics and // want expectations must line up per file.
 package maporder
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 func flaggedAppend(m map[string]int) []string {
 	var out []string
@@ -27,31 +28,4 @@ func flaggedCall(m map[string]int) {
 	for k, v := range m {
 		fmt.Println(k, v) // want "side-effecting call inside a map-range loop"
 	}
-}
-
-func flaggedFloatSum(m map[string]float64) float64 {
-	var sum float64
-	for _, v := range m {
-		sum += v // want "floating-point accumulation into \"sum\""
-	}
-	return sum
-}
-
-func cleanCollectThenSort(m map[string]int) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k) // sorted below: the collect-then-sort idiom
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-func cleanOrderIndependent(m map[string]int, dst map[string]int) int {
-	total := 0
-	for k, v := range m {
-		total += v // integer addition commutes exactly
-		dst[k] = v // map writes are order-independent
-		delete(m, k)
-	}
-	return total
 }

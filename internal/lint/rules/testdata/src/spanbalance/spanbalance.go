@@ -1,0 +1,123 @@
+// Package spanbalance exercises the spanbalance analyzer: spans started
+// but not ended on every path, overwritten while open, or discarded are
+// flagged; defer-End, per-return End, chained End, aliasing and
+// hand-offs are clean.
+package spanbalance
+
+func leakNoEnd(t *Trace) {
+	sp := t.Start("never-ended") // want "not ended on every path"
+	_ = sp
+}
+
+func leakOnErrPath(t *Trace, fail bool) error {
+	sp := t.Start("parse") // want "not ended on every path"
+	if fail {
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+func leakSwitchArm(t *Trace, mode int) {
+	sp := t.Start("mode") // want "not ended on every path"
+	switch mode {
+	case 1:
+		sp.End()
+	case 2:
+	}
+}
+
+func leakOverwrite(t *Trace) {
+	sp := t.Start("first") // want "overwritten before being ended"
+	sp = t.Start("second")
+	sp.End()
+}
+
+func leakLoopOverwrite(t *Trace, n int) {
+	var sp *Span
+	for i := 0; i < n; i++ {
+		sp = t.Start("iter") // want "overwritten before being ended"
+	}
+	_ = sp
+}
+
+func discardExpr(t *Trace) {
+	t.Start("dropped") // want "started and immediately discarded"
+}
+
+func discardChained(t *Trace) {
+	t.Start("annotated").SetAttr("k", "v") // want "handle discarded"
+}
+
+func discardBlank(t *Trace) {
+	_ = t.Start("blank") // want "assigned to _"
+}
+
+func cleanDefer(t *Trace, fail bool) error {
+	sp := t.Start("outer")
+	defer sp.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func cleanDeferClosure(t *Trace) {
+	sp := t.Start("closure")
+	defer func() { sp.End() }()
+}
+
+func cleanPerReturn(t *Trace, fail bool) error {
+	sp := t.Start("per-return")
+	if fail {
+		sp.End()
+		return errBoom
+	}
+	sp.SetAttr("ok", "true")
+	sp.End()
+	return nil
+}
+
+func cleanChain(t *Trace) {
+	t.Start("chained").End()
+}
+
+func cleanLoop(t *Trace, n int) {
+	for i := 0; i < n; i++ {
+		sp := t.Start("iter")
+		sp.End()
+	}
+}
+
+func cleanReuseAfterEnd(t *Trace) {
+	sp := t.Start("bind")
+	sp.End()
+	sp = t.Start("plan")
+	sp.End()
+}
+
+func cleanAlias(t *Trace) {
+	sp := t.Start("aliased")
+	sp2 := sp
+	sp2.End()
+}
+
+func cleanHandoffReturn(t *Trace) *Span {
+	return t.Start("caller-owned")
+}
+
+func cleanHandoffArg(t *Trace) {
+	register(t.Start("registered"))
+	sp := t.Start("registered-late")
+	register(sp)
+}
+
+func cleanSwitch(t *Trace, mode int) {
+	sp := t.Start("mode")
+	switch mode {
+	case 1:
+		sp.End()
+	default:
+		sp.End()
+	}
+}

@@ -1,0 +1,46 @@
+// Helper file for the spanbalance fixture (multi-file package): a
+// Trace/Span pair mirroring internal/obs's shape — Start returns *Span,
+// End closes it, SetAttr annotates.
+package spanbalance
+
+type Trace struct {
+	spans []*Span
+}
+
+type Span struct {
+	name  string
+	attrs map[string]string
+	done  bool
+}
+
+func (t *Trace) Start(name string) *Span {
+	sp := &Span{name: name}
+	if t != nil {
+		t.spans = append(t.spans, sp)
+	}
+	return sp
+}
+
+func (s *Span) End() {
+	if s != nil {
+		s.done = true
+	}
+}
+
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[k] = v
+}
+
+func register(sp *Span) {}
+
+var errBoom = &opError{}
+
+type opError struct{}
+
+func (*opError) Error() string { return "boom" }

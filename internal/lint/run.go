@@ -23,6 +23,37 @@ type Result struct {
 	Packages int `json:"packages"`
 	// Analyzers names the suite that ran, in run order.
 	Analyzers []string `json:"analyzers"`
+	// DirectiveUses itemizes every well-formed directive with its
+	// per-run suppression count, so -json consumers can audit exactly
+	// which exceptions are load-bearing. Sorted by (file, line).
+	DirectiveUses []DirectiveUse `json:"directive_uses"`
+}
+
+// DirectiveUse is one well-formed //predlint:allow directive and how
+// many findings it suppressed in this run.
+type DirectiveUse struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	Uses      int      `json:"uses"`
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Strict reports never-used //predlint:allow directives as findings
+	// under the pseudo-analyzer "predlint" (like malformed directives,
+	// they are not themselves suppressible). CI runs strict so stale
+	// suppressions rot loudly instead of silently widening the allowed
+	// surface. A directive only counts as stale when every analyzer it
+	// names actually ran — filtered runs (-only/-skip) cannot produce
+	// false staleness.
+	Strict bool
+	// KnownAnalyzers names the full analyzer universe for directive
+	// validation. When the run suite is filtered (-only/-skip), a
+	// directive naming a known-but-not-run analyzer must be neither
+	// "unknown" nor stale; empty means the run suite is the universe.
+	KnownAnalyzers []string
 }
 
 // Summary renders the one-line report CI prints win or lose, e.g.
@@ -37,12 +68,19 @@ func (r Result) Summary() string {
 // selector deciding where it applies (nil selector = everywhere). baseDir,
 // when non-empty, roots finding file paths (module-relative paths keep
 // output stable across checkouts).
-func Run(pkgs []*Package, suite []*Analyzer, targets map[string]*Target, baseDir string) (Result, error) {
-	known := make(map[string]bool, len(suite))
+func Run(pkgs []*Package, suite []*Analyzer, targets map[string]*Target, baseDir string, opts Options) (Result, error) {
+	ran := make(map[string]bool, len(suite))
 	res := Result{Packages: len(pkgs)}
 	for _, a := range suite {
-		known[a.Name] = true
+		ran[a.Name] = true
 		res.Analyzers = append(res.Analyzers, a.Name)
+	}
+	known := ran
+	if len(opts.KnownAnalyzers) > 0 {
+		known = make(map[string]bool, len(opts.KnownAnalyzers))
+		for _, n := range opts.KnownAnalyzers {
+			known[n] = true
+		}
 	}
 
 	var raw []Finding
@@ -87,12 +125,31 @@ func Run(pkgs []*Package, suite []*Analyzer, targets map[string]*Target, baseDir
 		surviving = append(surviving, f)
 	}
 	surviving = append(surviving, sup.invalid...)
+	if opts.Strict {
+		surviving = append(surviving, sup.stale(ran)...)
+	}
+	res.DirectiveUses = sup.uses()
 	if baseDir != "" {
 		for i := range surviving {
 			if rel, err := filepath.Rel(baseDir, surviving[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 				surviving[i].File = rel
 			}
 		}
+		for i := range res.DirectiveUses {
+			if rel, err := filepath.Rel(baseDir, res.DirectiveUses[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+				res.DirectiveUses[i].File = rel
+			}
+		}
+	}
+	sort.Slice(res.DirectiveUses, func(i, j int) bool {
+		a, b := res.DirectiveUses[i], res.DirectiveUses[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	if res.DirectiveUses == nil {
+		res.DirectiveUses = []DirectiveUse{}
 	}
 	sortFindings(surviving)
 	res.Findings = dedupeFindings(surviving)

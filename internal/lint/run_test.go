@@ -17,7 +17,7 @@ import (
 // the CI summary prints are exact.
 func TestSuppressionEndToEnd(t *testing.T) {
 	pkg := linttest.Load(t, "testdata", "suppress")
-	res, err := lint.Run([]*lint.Package{pkg}, rules.Suite(), nil, "")
+	res, err := lint.Run([]*lint.Package{pkg}, rules.Suite(), nil, "", lint.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,6 +67,69 @@ func TestSuppressionEndToEnd(t *testing.T) {
 	sum := res.Summary()
 	if !strings.Contains(sum, "4 suppressed by 3 directives") {
 		t.Errorf("Summary() = %q, want it to report 4 suppressed by 3 directives", sum)
+	}
+}
+
+// TestStrictStaleDirectives pins -strict semantics over testdata/src/stale:
+// a never-used directive is a "predlint" finding only under Strict, a used
+// directive never is, DirectiveUses itemizes both, and a filtered suite
+// (-only) cannot declare a directive stale when the analyzer it names did
+// not run.
+func TestStrictStaleDirectives(t *testing.T) {
+	pkg := linttest.Load(t, "testdata", "stale")
+	suite := rules.Suite()
+
+	// Default mode: the unused maporder directive is tolerated.
+	res, err := lint.Run([]*lint.Package{pkg}, suite, nil, "", lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("non-strict run has %d findings, want 0: %v", len(res.Findings), res.Findings)
+	}
+	if len(res.DirectiveUses) != 2 {
+		t.Fatalf("DirectiveUses = %d entries, want 2: %v", len(res.DirectiveUses), res.DirectiveUses)
+	}
+	if u := res.DirectiveUses[0]; u.Uses != 1 || u.Analyzers[0] != "detrand" {
+		t.Errorf("first directive use = %+v, want detrand with 1 use", u)
+	}
+	if u := res.DirectiveUses[1]; u.Uses != 0 || u.Analyzers[0] != "maporder" {
+		t.Errorf("second directive use = %+v, want maporder with 0 uses", u)
+	}
+
+	// Strict mode: the unused directive fails the run.
+	res, err = lint.Run([]*lint.Package{pkg}, suite, nil, "", lint.Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("strict run has %d findings, want 1: %v", len(res.Findings), res.Findings)
+	}
+	f := res.Findings[0]
+	if f.Analyzer != lint.InvalidDirectiveAnalyzer {
+		t.Errorf("stale finding attributed to %q, want %q", f.Analyzer, lint.InvalidDirectiveAnalyzer)
+	}
+	if !strings.Contains(f.Message, "stale") || !strings.Contains(f.Message, "maporder") {
+		t.Errorf("stale finding message = %q, want it to name the stale maporder directive", f.Message)
+	}
+
+	// Filtered suite: with only detrand running, the maporder directive is
+	// neither an unknown name (KnownAnalyzers covers it) nor stale.
+	var detrandOnly []*lint.Analyzer
+	var allNames []string
+	for _, a := range suite {
+		allNames = append(allNames, a.Name)
+		if a.Name == "detrand" {
+			detrandOnly = append(detrandOnly, a)
+		}
+	}
+	res, err = lint.Run([]*lint.Package{pkg}, detrandOnly, nil, "",
+		lint.Options{Strict: true, KnownAnalyzers: allNames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("filtered strict run has %d findings, want 0 (maporder did not run): %v", len(res.Findings), res.Findings)
 	}
 }
 

@@ -1,0 +1,15 @@
+// Package stale exercises -strict stale-directive detection: one
+// directive earns its keep, one suppresses nothing.
+package stale
+
+import "math/rand"
+
+func draw() int {
+	//predlint:allow detrand — seeded demo stream, determinism preserved
+	return rand.Int()
+}
+
+//predlint:allow maporder — historical exception, nothing left to excuse
+func nothing() map[string]int {
+	return map[string]int{"a": 1}
+}
